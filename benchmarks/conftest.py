@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one figure of the paper and, besides the timing
+collected by pytest-benchmark, writes the figure's data table to
+``benchmarks/results/<name>.txt`` so the numbers can be compared against the
+paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Write a rendered figure table to the results directory (and echo it)."""
+
+    def _save(name: str, report: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(report + "\n", encoding="utf-8")
+        print()
+        print(report)
+
+    return _save

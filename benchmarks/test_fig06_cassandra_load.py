@@ -1,0 +1,32 @@
+"""Figure 6 — Correctable Cassandra latency vs throughput under YCSB A/B/C."""
+
+import pytest
+
+from repro.bench.fig06_load import format_fig06, run_fig06
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_latency_vs_throughput(benchmark, save_report):
+    records = benchmark.pedantic(
+        run_fig06,
+        kwargs=dict(workloads=("A", "B", "C"), systems=("C1", "C2", "CC2"),
+                    thread_counts=(2, 6, 12, 24, 48), duration_ms=8_000.0,
+                    warmup_ms=2_000.0, cooldown_ms=1_000.0,
+                    record_count=1_000, seed=42),
+        rounds=1, iterations=1)
+    save_report("fig06_cassandra_load", format_fig06(records))
+
+    for workload in ("A", "B", "C"):
+        rows = [r for r in records if r["workload"] == workload]
+        by_system_low_load = {r["system"]: r for r in rows
+                              if r["threads_per_client"] == 2}
+        # CC2's two views bracket the C1/C2 baselines.
+        assert by_system_low_load["CC2"]["preliminary_mean_ms"] < \
+            by_system_low_load["CC2"]["final_mean_ms"]
+        assert by_system_low_load["C1"]["final_mean_ms"] < \
+            by_system_low_load["C2"]["final_mean_ms"]
+        # Throughput rises with offered load for every system.
+        for system in ("C1", "C2", "CC2"):
+            series = sorted((r for r in rows if r["system"] == system),
+                            key=lambda r: r["threads_per_client"])
+            assert series[0]["throughput_ops_s"] < series[-1]["throughput_ops_s"]

@@ -1,0 +1,35 @@
+"""Figure 7 — divergence of preliminary from final views on a hot 1 K dataset."""
+
+import pytest
+
+from repro.bench.fig07_divergence import format_fig07, run_fig07
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_divergence(benchmark, save_report):
+    records = benchmark.pedantic(
+        run_fig07,
+        kwargs=dict(configs=(("A", "latest"), ("A", "zipfian"),
+                             ("B", "latest"), ("B", "zipfian")),
+                    thread_counts=(10, 20, 40, 100), duration_ms=8_000.0,
+                    warmup_ms=2_000.0, cooldown_ms=1_000.0,
+                    record_count=1_000, seed=42),
+        rounds=1, iterations=1)
+    save_report("fig07_divergence", format_fig07(records))
+
+    def max_divergence(workload, distribution):
+        return max(r["divergence_pct"] for r in records
+                   if r["workload"] == workload
+                   and r["distribution"] == distribution)
+
+    # Workload A diverges more than workload B under the same distribution,
+    # and A-Latest is the worst case (the paper's ~25 % point).
+    assert max_divergence("A", "latest") > max_divergence("B", "latest")
+    assert max_divergence("A", "zipfian") > max_divergence("B", "zipfian")
+    # The paper reports up to ~25 % for A-Latest on the hot 1 K dataset.
+    assert max_divergence("A", "latest") > 10.0
+    # Divergence grows (or at least does not shrink) with load for A-Latest.
+    a_latest = sorted((r for r in records if r["workload"] == "A"
+                       and r["distribution"] == "latest"),
+                      key=lambda r: r["threads_total"])
+    assert a_latest[-1]["divergence_pct"] >= a_latest[0]["divergence_pct"] * 0.8

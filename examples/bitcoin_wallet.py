@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""An online wallet tracking transaction confirmations (Section 4.5).
+
+The merchant submits a payment and watches it harden: the Correctable's
+preliminary views report the mempool acceptance and each confirmation
+milestone, and the final view arrives once the transaction is six blocks deep
+(irrevocable with high probability).  The merchant ships the goods early for
+small amounts and waits for finality for large ones — the same
+application-driven choice as the ticket shop, with more than two views.
+
+Run with::
+
+    python examples/bitcoin_wallet.py
+"""
+
+from repro.bindings.blockchain import BlockchainBinding, transfer
+from repro.blockchain_sim.network import BlockchainConfig, BlockchainNetwork
+from repro.core import CorrectableClient
+from repro.sim.scheduler import Scheduler
+
+
+def main() -> None:
+    scheduler = Scheduler()
+    network = BlockchainNetwork(scheduler,
+                                BlockchainConfig(block_interval_ms=1_500.0,
+                                                 fork_probability=0.08))
+    network.start()
+    client = CorrectableClient(BlockchainBinding(network))
+
+    def track(label: str, amount: float, ship_at_confirmations: int) -> None:
+        shipped = {"done": False}
+
+        def on_view(view) -> None:
+            confirmations = view.value["confirmations"]
+            print(f"[{scheduler.now():8.0f} ms] {label}: "
+                  f"{view.consistency.name:<12} ({confirmations} confirmations)")
+            if not shipped["done"] and confirmations >= ship_at_confirmations:
+                shipped["done"] = True
+                print(f"[{scheduler.now():8.0f} ms] {label}: shipping goods "
+                      f"after {confirmations} confirmation(s)")
+
+        correctable = client.invoke(transfer("alice", "merchant", amount))
+        correctable.set_callbacks(on_update=on_view, on_final=on_view)
+
+    print("small purchase: ship after 1 confirmation")
+    track("espresso (0.0001 BTC)", 0.0001, ship_at_confirmations=1)
+    print("large purchase: wait for finality (6 confirmations)")
+    track("car (1.2 BTC)", 1.2, ship_at_confirmations=6)
+
+    # Run 30 (simulated) seconds of mining.
+    scheduler.run(until=30_000.0)
+    network.stop()
+    print(f"\nchain height: {network.chain.height} blocks "
+          f"({network.chain.orphaned_blocks} orphaned)")
+    print(f"merchant balance on chain: "
+          f"{network.chain.balance('merchant'):.4f} BTC")
+
+
+if __name__ == "__main__":
+    main()

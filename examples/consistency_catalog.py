@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Table 1: which access pattern fits which application.
+
+Prints the application taxonomy from the paper's Table 1 and demonstrates the
+recommendation helper on a few concrete scenarios.
+
+Run with::
+
+    python examples/consistency_catalog.py
+"""
+
+from repro.apps.catalog import (
+    APPLICATION_CATALOG,
+    ConsistencyCategory,
+    recommend_category,
+    use_cases,
+)
+from repro.metrics.summary import format_table
+
+
+def main() -> None:
+    for category in ConsistencyCategory:
+        rows = [[case.name, case.rationale] for case in use_cases(category)]
+        print(format_table(["use case", "why"], rows,
+                           title=f"\n== {category.value} =="))
+
+    print("\nrecommendations:")
+    scenarios = [
+        ("thumbnail generator", False, True),
+        ("configuration service", True, False),
+        ("online ticket shop", True, True),
+    ]
+    for name, needs_correctness, fast_views_help in scenarios:
+        category, reason = recommend_category(needs_correctness,
+                                              fast_views_help)
+        print(f"  {name:<22} -> {category.value:<38} ({reason})")
+
+    total = len(APPLICATION_CATALOG)
+    icg = len(use_cases(ConsistencyCategory.ICG))
+    print(f"\n{icg} of the {total} catalogued use cases can exploit ICG.")
+
+
+if __name__ == "__main__":
+    main()

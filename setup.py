@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``python setup.py develop`` works in offline environments where
+PEP 660 editable installs cannot build a wheel; configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

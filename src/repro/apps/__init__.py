@@ -1,0 +1,38 @@
+"""The paper's case-study applications, built on the Correctables API.
+
+* :mod:`repro.apps.ads`        — ad-serving system (Listing 4, Figure 11);
+* :mod:`repro.apps.twissandra` — microblogging timelines (Figure 11);
+* :mod:`repro.apps.tickets`    — ticket selling over a replicated queue
+  (Listing 5, Figure 12);
+* :mod:`repro.apps.news`       — smartphone news reader exposing data
+  incrementally (Listing 6);
+* :mod:`repro.apps.catalog`    — the application taxonomy of Table 1;
+* :mod:`repro.apps.datasets`   — synthetic datasets shaped like the ones the
+  paper used (profiles→ads references, timelines→tweets).
+"""
+
+from repro.apps.datasets import AdsDataset, TwissandraDataset
+from repro.apps.ads import AdServingSystem
+from repro.apps.twissandra import Twissandra
+from repro.apps.tickets import TicketSeller, PurchaseOutcome
+from repro.apps.news import NewsReader
+from repro.apps.catalog import (
+    ConsistencyCategory,
+    UseCase,
+    APPLICATION_CATALOG,
+    recommend_category,
+)
+
+__all__ = [
+    "AdsDataset",
+    "TwissandraDataset",
+    "AdServingSystem",
+    "Twissandra",
+    "TicketSeller",
+    "PurchaseOutcome",
+    "NewsReader",
+    "ConsistencyCategory",
+    "UseCase",
+    "APPLICATION_CATALOG",
+    "recommend_category",
+]

@@ -1,0 +1,97 @@
+"""The application taxonomy of Table 1.
+
+The paper groups applications into three categories by how they should access
+replicated data: pure weak consistency, pure strong consistency, or
+incremental consistency guarantees.  The catalog below encodes that table,
+and :func:`recommend_category` captures the decision logic the table's
+synopsis column describes — useful both as executable documentation and for
+the ``consistency_catalog`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple
+
+
+class ConsistencyCategory(Enum):
+    """The three access patterns of Table 1."""
+
+    WEAK = "weak-consistency"
+    STRONG = "strong-consistency"
+    ICG = "incremental-consistency-guarantees"
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One row's worth of example applications."""
+
+    name: str
+    category: ConsistencyCategory
+    rationale: str
+
+
+#: Table 1, transcribed: category → (synopsis, example applications).
+APPLICATION_CATALOG: List[UseCase] = [
+    # Weak consistency: no benefit from stronger guarantees or ICG.
+    UseCase("thumbnail generation", ConsistencyCategory.WEAK,
+            "computation on static BLOB content; staleness is harmless"),
+    UseCase("cold-data analytics", ConsistencyCategory.WEAK,
+            "fraud analysis over historical data tolerates lag"),
+    UseCase("disconnected mobile operation", ConsistencyCategory.WEAK,
+            "the device is offline; only local state is available"),
+    # Strong consistency: correctness is mandatory, speculation does not help.
+    UseCase("configuration / membership service", ConsistencyCategory.STRONG,
+            "infrastructure decisions must observe the latest state"),
+    UseCase("session store", ConsistencyCategory.STRONG,
+            "serving a stale session breaks authentication"),
+    UseCase("stock ticker / trading", ConsistencyCategory.STRONG,
+            "acting on stale prices is unacceptable"),
+    # ICG: prefers correct results but can use weak views meanwhile.
+    UseCase("e-mail and calendar", ConsistencyCategory.ICG,
+            "show something fast, reconcile when the final view arrives"),
+    UseCase("social-network timeline", ConsistencyCategory.ICG,
+            "speculatively prefetch referenced content"),
+    UseCase("online shopping / inventory", ConsistencyCategory.ICG,
+            "weak views suffice while stock is plentiful"),
+    UseCase("flight-search aggregation", ConsistencyCategory.ICG,
+            "progressively refine displayed results"),
+    UseCase("advertising", ConsistencyCategory.ICG,
+            "speculate on the preliminary reference list"),
+    UseCase("authentication and authorization", ConsistencyCategory.ICG,
+            "speculate on password-check results, confirm before acting"),
+    UseCase("collaborative editing", ConsistencyCategory.ICG,
+            "expose tentative state, reconcile with the committed one"),
+    UseCase("online wallets", ConsistencyCategory.ICG,
+            "track confirmations as they accumulate"),
+]
+
+
+def use_cases(category: ConsistencyCategory) -> List[UseCase]:
+    """All catalogued use cases in one category."""
+    return [case for case in APPLICATION_CATALOG if case.category is category]
+
+
+def recommend_category(requires_correct_results: bool,
+                       benefits_from_fast_weak_views: bool) -> Tuple[ConsistencyCategory, str]:
+    """Recommend an access pattern following Table 1's synopsis column.
+
+    Args:
+        requires_correct_results: the application must eventually act on a
+            strongly consistent result.
+        benefits_from_fast_weak_views: a weakly consistent view arriving
+            early is useful (for speculation, progressive display, or
+            threshold checks).
+
+    Returns:
+        The recommended category and a one-line justification.
+    """
+    if not requires_correct_results:
+        return (ConsistencyCategory.WEAK,
+                "correctness is not required: use the weakest, fastest model")
+    if not benefits_from_fast_weak_views:
+        return (ConsistencyCategory.STRONG,
+                "only the correct result matters and early views are useless")
+    return (ConsistencyCategory.ICG,
+            "speculate or act on preliminary views, settle on the final one")

@@ -1,0 +1,65 @@
+"""The smartphone news-reader case study (Section 4.4, Listing 6).
+
+The news service is replicated with a primary-backup scheme and fronted by a
+local cache on the phone.  One logical ``invoke`` produces up to three
+incremental views — cache, backup, primary — and the application simply
+refreshes its display on every update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.client import CorrectableClient
+from repro.core.correctable import Correctable
+from repro.core.operations import read, write
+
+#: ``refresh(items, consistency_name)`` called once per incremental view.
+RefreshCallback = Callable[[List[str], str], None]
+
+
+class NewsReader:
+    """Displays the latest news items, refreshing as fresher views arrive."""
+
+    NEWS_KEY = "news:front-page"
+
+    def __init__(self, client: CorrectableClient) -> None:
+        self.client = client
+        #: History of (consistency level name, items) pairs displayed so far.
+        self.display_history: List[Dict[str, Any]] = []
+        self.refreshes = 0
+
+    # -- publisher side --------------------------------------------------------
+    def publish(self, items: List[str],
+                on_done: Optional[Callable[[Dict[str, Any]], None]] = None
+                ) -> Correctable:
+        """Publish a new front page (strongly consistent write)."""
+        correctable = self.client.invoke_strong(write(self.NEWS_KEY, list(items)))
+        if on_done is not None:
+            correctable.set_callbacks(
+                on_final=lambda view: on_done({"published": items}),
+                on_error=lambda exc: on_done({"error": exc}))
+        return correctable
+
+    # -- reader side (Listing 6) ---------------------------------------------------
+    def get_latest_news(self,
+                        refresh: Optional[RefreshCallback] = None) -> Correctable:
+        """Fetch the front page; the display refreshes once per incremental view."""
+        correctable = self.client.invoke(read(self.NEWS_KEY))
+
+        def _refresh(view) -> None:
+            items = list(view.value) if view.value else []
+            self.refreshes += 1
+            self.display_history.append(
+                {"consistency": view.consistency.name, "items": items})
+            if refresh is not None:
+                refresh(items, view.consistency.name)
+
+        correctable.set_callbacks(on_update=_refresh, on_final=_refresh)
+        return correctable
+
+    def latest_display(self) -> List[str]:
+        """The items currently shown on screen (last refresh wins)."""
+        if not self.display_history:
+            return []
+        return list(self.display_history[-1]["items"])

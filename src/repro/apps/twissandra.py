@@ -1,0 +1,127 @@
+"""The Twissandra-style microblogging case study (Section 6.3.1, Figure 11).
+
+``get_timeline`` proceeds in two steps — fetch the timeline (tweet IDs), then
+fetch each tweet by ID — and is therefore amenable to the same speculation
+pattern as the ad-serving system: prefetch tweets on the preliminary timeline
+and confirm when the final timeline arrives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.datasets import TwissandraDataset
+from repro.core.client import CorrectableClient
+from repro.core.correctable import Correctable
+from repro.core.operations import read, write
+from repro.core.promise import Promise
+from repro.core.speculation import SpeculationStats
+
+DoneCallback = Callable[[Dict[str, Any]], None]
+
+
+class Twissandra:
+    """Timelines and tweets stored in a replicated key-value store."""
+
+    def __init__(self, client: CorrectableClient, dataset: TwissandraDataset,
+                 clock: Optional[Callable[[], float]] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.client = client
+        self.dataset = dataset
+        self._clock = clock if clock is not None else getattr(client.binding, "clock", None)
+        self._rng = rng if rng is not None else random.Random(17)
+        self._new_tweet_ids = itertools.count(dataset.tweet_count)
+        self.speculation_stats = SpeculationStats()
+        self.operations = 0
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- reading a timeline ----------------------------------------------------
+    def get_timeline(self, timeline_key: str, on_done: DoneCallback,
+                     speculate: bool = True) -> Correctable:
+        """Fetch a user's timeline with its tweet bodies.
+
+        ``speculate=True`` reads the timeline with ICG and prefetches tweets
+        on the preliminary view; ``speculate=False`` is the strong-read
+        baseline of Figure 11.
+        """
+        self.operations += 1
+        started = self._now()
+
+        def _fetch_tweets(tweet_ids: List[str]) -> Promise:
+            if not tweet_ids:
+                return Promise.resolved([])
+            fetches = [self.client.invoke_strong(read(tweet_id))
+                       for tweet_id in tweet_ids]
+            return Correctable.all(fetches)
+
+        def _deliver(tweets: List[str]) -> None:
+            on_done({"tweets": tweets,
+                     "latency_ms": self._now() - started})
+
+        if speculate:
+            timeline = self.client.invoke(read(timeline_key))
+            result = timeline.speculate(_fetch_tweets,
+                                        stats=self.speculation_stats)
+            result.set_callbacks(
+                on_final=lambda view: _deliver(view.value),
+                on_error=lambda exc: on_done(
+                    {"error": exc, "latency_ms": self._now() - started}),
+            )
+            return result
+
+        timeline = self.client.invoke_strong(read(timeline_key))
+        derived = Correctable(clock=self._clock)
+        timeline.set_callbacks(
+            on_final=lambda view: _fetch_tweets(view.value).on_ready(
+                lambda tweets: (derived.close(tweets, view.consistency),
+                                _deliver(tweets))),
+            on_error=lambda exc: on_done(
+                {"error": exc, "latency_ms": self._now() - started}),
+        )
+        return derived
+
+    # -- posting ------------------------------------------------------------------
+    def post_tweet(self, timeline_key: str, body: str,
+                   on_done: Optional[DoneCallback] = None) -> None:
+        """Store a new tweet and prepend it to the author's timeline.
+
+        The timeline update is the operation whose staleness the speculation
+        on ``get_timeline`` has to cope with.
+        """
+        started = self._now()
+        tweet_key = self.dataset.tweet_key(next(self._new_tweet_ids))
+        tweet_write = self.client.invoke_strong(write(tweet_key, body))
+
+        def _update_timeline(_view) -> None:
+            current = self.dataset.timeline(timeline_key) \
+                if timeline_key in self.dataset.timeline_keys() else []
+            timeline_read = self.client.invoke_weak(read(timeline_key))
+
+            def _write_back(view) -> None:
+                existing = view.value if isinstance(view.value, list) else current
+                updated = [tweet_key] + list(existing)[: self.dataset.timeline_length - 1]
+                self.client.invoke_strong(write(timeline_key, updated)) \
+                    .set_callbacks(on_final=lambda v: _finish())
+
+            timeline_read.set_callbacks(on_final=_write_back,
+                                        on_error=lambda exc: _finish(exc))
+
+        def _finish(error: Optional[BaseException] = None) -> None:
+            if on_done is not None:
+                info: Dict[str, Any] = {"latency_ms": self._now() - started,
+                                        "tweet_key": tweet_key}
+                if error is not None:
+                    info["error"] = error
+                on_done(info)
+
+        tweet_write.set_callbacks(on_final=_update_timeline,
+                                  on_error=lambda exc: _finish(exc))
+
+    def random_timeline_key(self) -> str:
+        """A uniformly random timeline key (used by load generators)."""
+        return self.dataset.timeline_key(
+            self._rng.randrange(self.dataset.user_count))

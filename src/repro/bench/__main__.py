@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — regenerate paper figures from the command line."""
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Command-line entry point for regenerating individual figures.
+
+``pytest benchmarks/ --benchmark-only`` runs the whole evaluation; this CLI
+is the quicker way to regenerate a single figure, optionally at reduced
+scale::
+
+    python -m repro.bench fig05
+    python -m repro.bench fig07 --quick
+    python -m repro.bench fig12 --seed 7
+    python -m repro.bench all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.bench import (
+    format_fig05, format_fig06, format_fig07, format_fig08, format_fig09,
+    format_fig10, format_fig11, format_fig12,
+    run_fig05, run_fig06, run_fig07, run_fig08, run_fig09, run_fig10,
+    run_fig11, run_fig12,
+)
+
+#: figure name -> (runner, formatter, full-scale kwargs, quick kwargs).
+_FIGURES: Dict[str, tuple] = {
+    "fig05": (run_fig05, format_fig05,
+              dict(samples=200, record_count=200),
+              dict(samples=40, record_count=50)),
+    "fig06": (run_fig06, format_fig06,
+              dict(thread_counts=(2, 6, 12, 24, 48)),
+              dict(workloads=("A",), thread_counts=(2, 6),
+                   duration_ms=4_000.0, warmup_ms=1_000.0, cooldown_ms=500.0,
+                   record_count=300)),
+    "fig07": (run_fig07, format_fig07,
+              dict(thread_counts=(10, 20, 40, 100)),
+              dict(configs=(("A", "latest"), ("B", "latest")),
+                   thread_counts=(10,), duration_ms=4_000.0,
+                   warmup_ms=1_000.0, cooldown_ms=500.0)),
+    "fig08": (run_fig08, format_fig08,
+              dict(threads=40),
+              dict(configs=(("A", "latest"),), threads=10,
+                   duration_ms=4_000.0, warmup_ms=1_000.0, cooldown_ms=500.0)),
+    "fig09": (run_fig09, format_fig09,
+              dict(samples=100), dict(samples=30)),
+    "fig10": (run_fig10, format_fig10,
+              dict(stocks=(500, 1000), client_counts=(1, 4, 12)),
+              dict(stocks=(100, 200), client_counts=(1, 4))),
+    "fig11": (run_fig11, format_fig11,
+              dict(profile_count=1_000, ref_count=2_000),
+              dict(apps=("ads",), workloads=("B",), thread_counts=(2,),
+                   duration_ms=3_000.0, warmup_ms=800.0, cooldown_ms=400.0,
+                   profile_count=100, ref_count=200)),
+    "fig12": (run_fig12, format_fig12,
+              dict(stock=500), dict(stock=120)),
+}
+
+
+def figure_names() -> Sequence[str]:
+    """Names accepted by :func:`run_figure` (besides ``all``)."""
+    return tuple(_FIGURES)
+
+
+def run_figure(name: str, quick: bool = False,
+               seed: Optional[int] = None) -> str:
+    """Run one figure's harness and return its rendered report."""
+    if name not in _FIGURES:
+        raise KeyError(f"unknown figure {name!r}; choose from {list(_FIGURES)}")
+    runner, formatter, full_kwargs, quick_kwargs = _FIGURES[name]
+    kwargs = dict(quick_kwargs if quick else full_kwargs)
+    if seed is not None:
+        kwargs["seed"] = seed
+    return formatter(runner(**kwargs))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate figures from the Correctables paper (OSDI '16).")
+    parser.add_argument("figure", choices=list(_FIGURES) + ["all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="run a scaled-down configuration")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="experiment seed (default: each harness's own)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        print(run_figure(name, quick=args.quick, seed=args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Shared scenario construction for the benchmark harnesses.
+
+A *scenario* bundles a simulation environment, a preloaded cluster, and the
+client nodes the experiment drives.  The system labels follow the paper's
+notation: ``C1``/``C2``/``C3`` are baseline Cassandra with read quorum 1/2/3,
+``CC2``/``CC3`` are Correctable Cassandra issuing ICG reads whose final view
+uses quorum 2/3, and ``*CC2`` is CC2 with the confirmation optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cassandra_sim.client import CassandraClient
+from repro.cassandra_sim.cluster import CassandraCluster
+from repro.cassandra_sim.config import CassandraConfig
+from repro.sim.environment import SimEnvironment
+from repro.sim.topology import Region
+from repro.workloads.records import Dataset
+from repro.workloads.runner import ClosedLoopRunner, RunResult
+from repro.workloads.ycsb import OperationGenerator, WorkloadSpec
+from repro.sim.rand import derive_rng
+
+#: System label -> (read quorum of the final view, uses ICG).
+CASSANDRA_SYSTEMS: Dict[str, Dict[str, Any]] = {
+    "C1": {"r": 1, "icg": False},
+    "C2": {"r": 2, "icg": False},
+    "C3": {"r": 3, "icg": False},
+    "CC2": {"r": 2, "icg": True},
+    "CC3": {"r": 3, "icg": True},
+    "*CC2": {"r": 2, "icg": True, "confirmation_optimization": True},
+}
+
+#: Client region -> contact (coordinator) region used by the load experiments:
+#: every client connects to a *remote* replica, as in the paper.
+REMOTE_CONTACTS: Dict[str, str] = {
+    Region.IRL: Region.FRK,
+    Region.FRK: Region.VRG,
+    Region.VRG: Region.IRL,
+}
+
+
+@dataclass
+class CassandraScenario:
+    """A wired-up Cassandra deployment plus its client nodes."""
+
+    env: SimEnvironment
+    cluster: CassandraCluster
+    dataset: Dataset
+    clients: Dict[str, CassandraClient] = field(default_factory=dict)
+
+    def client_in(self, region: str) -> CassandraClient:
+        return self.clients[region]
+
+
+def build_cassandra_scenario(seed: int = 0,
+                             record_count: int = 1000,
+                             value_size_bytes: int = 100,
+                             key_prefix: str = "user",
+                             client_regions: Sequence[str] = (Region.IRL,),
+                             contacts: Optional[Dict[str, str]] = None,
+                             config: Optional[CassandraConfig] = None,
+                             replica_regions: Optional[Sequence[str]] = None,
+                             preload: bool = True) -> CassandraScenario:
+    """Build a 3-replica cluster (FRK/IRL/VRG by default) with clients and data."""
+    env = SimEnvironment(seed=seed)
+    config = config if config is not None else CassandraConfig(
+        value_size_bytes=value_size_bytes)
+    cluster = CassandraCluster(env, config, replica_regions=replica_regions)
+    dataset = Dataset(record_count=record_count,
+                      value_size_bytes=value_size_bytes,
+                      key_prefix=key_prefix, seed=seed)
+    if preload:
+        cluster.preload(dataset.initial_items())
+    contacts = contacts if contacts is not None else REMOTE_CONTACTS
+    scenario = CassandraScenario(env=env, cluster=cluster, dataset=dataset)
+    for region in client_regions:
+        contact_region = contacts.get(region, Region.FRK)
+        client = cluster.add_client(f"ycsb-client-{region}", region=region,
+                                    contact_region=contact_region)
+        scenario.clients[region] = client
+    return scenario
+
+
+def make_kv_issue(client: CassandraClient, system: str,
+                  write_quorum: int = 1) -> Callable:
+    """Build the runner ``issue`` function for one Cassandra system label.
+
+    The returned callable executes YCSB reads/updates directly against the
+    storage client and reports preliminary/final latencies and divergence.
+    """
+    if system not in CASSANDRA_SYSTEMS:
+        raise KeyError(f"unknown system label {system!r}")
+    profile = CASSANDRA_SYSTEMS[system]
+    read_quorum = profile["r"]
+    icg = profile["icg"]
+
+    def _issue(op_type: str, key: str, value: Optional[str],
+               done: Callable[[Dict[str, Any]], None]) -> None:
+        if op_type == "update":
+            client.write(key, value, w=write_quorum,
+                         on_final=lambda resp: done(
+                             {"final_latency_ms": resp["latency_ms"]}))
+            return
+        if not icg:
+            client.read(key, r=read_quorum, icg=False,
+                        on_final=lambda resp: done(
+                            {"final_latency_ms": resp["latency_ms"]}))
+            return
+
+        state: Dict[str, Any] = {"prelim_value": None, "prelim_latency": None,
+                                 "had_prelim": False}
+
+        def _on_preliminary(resp: Dict[str, Any]) -> None:
+            state["had_prelim"] = True
+            state["prelim_value"] = resp["value"]
+            state["prelim_latency"] = resp["latency_ms"]
+
+        def _on_final(resp: Dict[str, Any]) -> None:
+            diverged = (state["had_prelim"]
+                        and state["prelim_value"] != resp["value"]
+                        and not resp.get("is_confirmation", False))
+            done({
+                "final_latency_ms": resp["latency_ms"],
+                "preliminary_latency_ms": state["prelim_latency"],
+                "had_preliminary": state["had_prelim"],
+                "diverged": diverged,
+            })
+
+        client.read(key, r=read_quorum, icg=True,
+                    on_preliminary=_on_preliminary, on_final=_on_final)
+
+    return _issue
+
+
+def make_generator_factory(spec: WorkloadSpec, dataset: Dataset, seed: int,
+                           label: str) -> Callable[[int], OperationGenerator]:
+    """Per-thread operation generators with independent random streams."""
+
+    def _factory(thread_id: int) -> OperationGenerator:
+        rng = derive_rng(seed, f"{label}-thread-{thread_id}")
+        return OperationGenerator(spec, dataset, rng)
+
+    return _factory
+
+
+def run_multi_region_load(scenario: CassandraScenario, system: str,
+                          spec: WorkloadSpec, threads_per_client: int,
+                          duration_ms: float, warmup_ms: float,
+                          cooldown_ms: float, seed: int,
+                          measured_region: str = Region.IRL
+                          ) -> Dict[str, RunResult]:
+    """Run closed-loop load from every client region simultaneously.
+
+    Returns the per-region :class:`RunResult`; the paper reports the client
+    in Ireland, which callers pick via ``measured_region``.
+    """
+    runners: Dict[str, ClosedLoopRunner] = {}
+    for region, client in scenario.clients.items():
+        issue = make_kv_issue(client, system)
+        runner = ClosedLoopRunner(
+            scheduler=scenario.env.scheduler,
+            issue=issue,
+            make_generator=make_generator_factory(
+                spec, scenario.dataset, seed, f"{system}-{region}"),
+            threads=threads_per_client,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            cooldown_ms=cooldown_ms,
+            label=f"{system}-{spec.name}-{region}",
+        )
+        runners[region] = runner
+    for runner in runners.values():
+        runner.start()
+    end = max(runner.end_time for runner in runners.values())
+    scenario.env.run(until=end + 60_000.0)
+    return {region: runner.result for region, runner in runners.items()}
+
+
+def cassandra_config_for(system: str,
+                         value_size_bytes: int = 1000) -> CassandraConfig:
+    """Cluster configuration appropriate for a system label.
+
+    ``value_size_bytes`` defaults to a full YCSB record (10 fields × 100 B):
+    reads return the whole record while updates write a single 100 B field,
+    which is the asymmetry the paper's bandwidth figures assume.  The
+    single-request microbenchmark (Figure 5) overrides this with 100 B
+    objects, as in the paper.
+    """
+    profile = CASSANDRA_SYSTEMS[system]
+    return CassandraConfig(
+        value_size_bytes=value_size_bytes,
+        confirmation_optimization=bool(
+            profile.get("confirmation_optimization", False)),
+    )

@@ -1,0 +1,100 @@
+"""Figure 5: single-request read latencies in Cassandra.
+
+The paper compares baseline Cassandra with read quorums 1, 2, 3 (C1, C2, C3)
+against Correctable Cassandra issuing ICG reads whose final view uses quorum
+2 or 3 (CC2, CC3).  The client is in Ireland, the coordinator in Frankfurt.
+The headline observations to reproduce:
+
+* the preliminary view of CC2/CC3 tracks C1 (the client-coordinator RTT);
+* the final view of CC2/CC3 tracks C2/C3 respectively;
+* the latency gap (speculation window) is ≈ the RTT to the farthest quorum
+  member — ~20 ms for CC2 and much larger for CC3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.common import (
+    build_cassandra_scenario,
+    cassandra_config_for,
+    make_kv_issue,
+)
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.summary import format_table
+from repro.sim.rand import derive_rng
+from repro.sim.topology import Region
+
+DEFAULT_SYSTEMS = ("C1", "C2", "C3", "CC2", "CC3")
+
+
+def _measure_single_requests(system: str, samples: int, seed: int,
+                             record_count: int) -> Dict[str, Optional[dict]]:
+    """Issue ``samples`` sequential reads and summarize their latencies."""
+    scenario = build_cassandra_scenario(
+        seed=seed, record_count=record_count,
+        client_regions=(Region.IRL,),
+        contacts={Region.IRL: Region.FRK},
+        config=cassandra_config_for(system, value_size_bytes=100))
+    client = scenario.client_in(Region.IRL)
+    issue = make_kv_issue(client, system)
+    rng = derive_rng(seed, f"fig05-{system}")
+    preliminary = LatencyRecorder(f"{system}-preliminary")
+    final = LatencyRecorder(f"{system}-final")
+    state = {"remaining": samples}
+
+    def _issue_next() -> None:
+        if state["remaining"] <= 0:
+            return
+        state["remaining"] -= 1
+        key = scenario.dataset.key(rng.randrange(record_count))
+        issue("read", key, None, _done)
+
+    def _done(info: dict) -> None:
+        final.record(info["final_latency_ms"])
+        if info.get("preliminary_latency_ms") is not None:
+            preliminary.record(info["preliminary_latency_ms"])
+        _issue_next()
+
+    _issue_next()
+    scenario.env.run_until_idle()
+    return {
+        "preliminary": preliminary.summary() if preliminary.count else None,
+        "final": final.summary(),
+    }
+
+
+def run_fig05(systems: Iterable[str] = DEFAULT_SYSTEMS, samples: int = 200,
+              record_count: int = 200, seed: int = 42) -> Dict[str, Dict]:
+    """Regenerate the Figure 5 data series.
+
+    Returns a mapping ``system -> {"preliminary": summary|None, "final": summary}``.
+    """
+    results: Dict[str, Dict] = {}
+    for system in systems:
+        results[system] = _measure_single_requests(system, samples, seed,
+                                                   record_count)
+    return results
+
+
+def latency_gap_ms(results: Dict[str, Dict], system: str) -> float:
+    """The mean preliminary-to-final gap for an ICG system (the speculation window)."""
+    entry = results[system]
+    if entry["preliminary"] is None:
+        return 0.0
+    return entry["final"]["mean_ms"] - entry["preliminary"]["mean_ms"]
+
+
+def format_fig05(results: Dict[str, Dict]) -> str:
+    """Render the figure as a text table (one row per system and view)."""
+    rows: List[list] = []
+    for system, entry in results.items():
+        if entry["preliminary"] is not None:
+            rows.append([system, "preliminary",
+                         entry["preliminary"]["mean_ms"],
+                         entry["preliminary"]["p99_ms"]])
+        rows.append([system, "final",
+                     entry["final"]["mean_ms"], entry["final"]["p99_ms"]])
+    return format_table(
+        ["system", "view", "mean latency (ms)", "p99 latency (ms)"], rows,
+        title="Figure 5 — Cassandra single-request read latency by quorum configuration")

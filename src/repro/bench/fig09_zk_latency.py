@@ -1,0 +1,118 @@
+"""Figure 9: latency gaps for queue operations in Correctable ZooKeeper.
+
+A client in Ireland enqueues small elements under four ensemble
+configurations — the leader in Ireland or Virginia, the client connected
+either to a follower or to the leader.  Shapes to reproduce:
+
+* the preliminary latency equals the RTT between the client and the server
+  it is connected to (≈2 ms when colocated in IRL, ≈20 ms to FRK, ≈83 ms to
+  VRG);
+* the final latency matches vanilla ZooKeeper for the same configuration;
+* the most dramatic gap appears when the client talks to a nearby follower
+  while the leader is far away (leader in VRG, follower in IRL).
+
+The same harness also reports the enqueue bandwidth overhead the paper
+quotes in Section 6.2.2 (roughly +50 %, one extra preliminary response).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.metrics.bandwidth import BandwidthProbe
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.summary import format_table
+from repro.sim.environment import SimEnvironment
+from repro.sim.topology import Region
+from repro.zookeeper_sim.cluster import ZooKeeperCluster
+
+#: (label, leader region, region of the server the client connects to).
+DEFAULT_CONFIGURATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("follower-FRK / leader-IRL", Region.IRL, Region.FRK),
+    ("leader-IRL / leader-IRL", Region.IRL, Region.IRL),
+    ("follower-IRL / leader-VRG", Region.VRG, Region.IRL),
+    ("leader-VRG / leader-VRG", Region.VRG, Region.VRG),
+)
+
+
+def _other_regions(leader_region: str) -> List[str]:
+    return [r for r in (Region.IRL, Region.FRK, Region.VRG)
+            if r != leader_region]
+
+
+def _measure_enqueues(leader_region: str, connect_region: str, icg: bool,
+                      samples: int, seed: int) -> Dict:
+    env = SimEnvironment(seed=seed)
+    cluster = ZooKeeperCluster(env, leader_region=leader_region,
+                               follower_regions=_other_regions(leader_region))
+    client = cluster.add_client("zk-bench-client", region=Region.IRL,
+                                connect_region=connect_region)
+    for server in cluster.servers:
+        server.tree.create("/queue")
+
+    probe = BandwidthProbe(env.network, [client.name],
+                           [s.name for s in cluster.servers])
+    probe.start()
+    preliminary = LatencyRecorder("preliminary")
+    final = LatencyRecorder("final")
+    state = {"remaining": samples}
+
+    def _issue_next() -> None:
+        if state["remaining"] <= 0:
+            return
+        state["remaining"] -= 1
+        element = f"element-{state['remaining']}"
+        client.enqueue(
+            "/queue", element, icg=icg,
+            on_preliminary=lambda resp: preliminary.record(resp["latency_ms"]),
+            on_final=lambda resp: (final.record(resp["latency_ms"]),
+                                   _issue_next()))
+
+    _issue_next()
+    env.run_until_idle()
+    probe.stop()
+    return {
+        "preliminary": preliminary.summary() if preliminary.count else None,
+        "final": final.summary(),
+        "bytes_per_op": probe.bytes_transferred() / max(1, final.count),
+    }
+
+
+def run_fig09(configurations: Iterable = DEFAULT_CONFIGURATIONS,
+              samples: int = 100, seed: int = 42) -> List[Dict]:
+    """Regenerate the Figure 9 latency-gap comparison (CZK vs ZK).
+
+    Returns one record per configuration, containing the Correctable
+    ZooKeeper preliminary/final summaries, the vanilla ZooKeeper summary, and
+    the enqueue bytes-per-operation of both systems.
+    """
+    records: List[Dict] = []
+    for label, leader_region, connect_region in configurations:
+        czk = _measure_enqueues(leader_region, connect_region, icg=True,
+                                samples=samples, seed=seed)
+        zk = _measure_enqueues(leader_region, connect_region, icg=False,
+                               samples=samples, seed=seed)
+        records.append({
+            "configuration": label,
+            "leader_region": leader_region,
+            "connect_region": connect_region,
+            "czk_preliminary_ms": czk["preliminary"]["mean_ms"],
+            "czk_final_ms": czk["final"]["mean_ms"],
+            "czk_final_p99_ms": czk["final"]["p99_ms"],
+            "zk_final_ms": zk["final"]["mean_ms"],
+            "czk_bytes_per_op": czk["bytes_per_op"],
+            "zk_bytes_per_op": zk["bytes_per_op"],
+            "latency_gap_ms": czk["final"]["mean_ms"] - czk["preliminary"]["mean_ms"],
+        })
+    return records
+
+
+def format_fig09(records: List[Dict]) -> str:
+    rows = [[r["configuration"], r["czk_preliminary_ms"], r["czk_final_ms"],
+             r["zk_final_ms"], r["latency_gap_ms"],
+             r["czk_bytes_per_op"], r["zk_bytes_per_op"]] for r in records]
+    return format_table(
+        ["configuration", "CZK prelim (ms)", "CZK final (ms)", "ZK (ms)",
+         "gap (ms)", "CZK B/op", "ZK B/op"],
+        rows,
+        title="Figure 9 — ZooKeeper enqueue latency gaps (client in IRL)")

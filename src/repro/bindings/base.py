@@ -1,0 +1,52 @@
+"""The binding API (Section 5.1).
+
+A binding exposes exactly two methods to the library:
+
+* :meth:`Binding.consistency_levels` — the levels the underlying stack
+  offers, ordered weakest to strongest;
+* :meth:`Binding.submit_operation` — execute an operation and invoke the
+  callback once per requested level as results become available.
+
+The callback signature is ``callback(level, value, metadata=None, error=None)``:
+
+* ``level`` — the :class:`~repro.core.consistency.ConsistencyLevel` this
+  result satisfies;
+* ``value`` — the operation result at that level;
+* ``metadata`` — optional dict (answering replica, quorum size, bytes on the
+  wire, ``is_confirmation`` for the ``*CC`` optimization, ...);
+* ``error`` — an exception if the operation failed at that level; when set,
+  ``value`` is ignored.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.operations import Operation
+
+#: ``callback(level, value, metadata=None, error=None)``
+CallbackType = Callable[..., None]
+
+
+class Binding(abc.ABC):
+    """Abstract base class every storage binding implements."""
+
+    #: Optional callable returning the current time (simulated or wall-clock);
+    #: the client uses it to timestamp views.
+    clock: Optional[Callable[[], float]] = None
+
+    @abc.abstractmethod
+    def consistency_levels(self) -> List[ConsistencyLevel]:
+        """The levels this binding offers, ordered weakest to strongest."""
+
+    @abc.abstractmethod
+    def submit_operation(self, operation: Operation,
+                         levels: List[ConsistencyLevel],
+                         callback: CallbackType) -> None:
+        """Execute ``operation``, invoking ``callback`` once per level in ``levels``."""
+
+    def supports(self, level: ConsistencyLevel) -> bool:
+        """Whether this binding offers ``level``."""
+        return level in self.consistency_levels()

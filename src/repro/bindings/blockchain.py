@@ -1,0 +1,100 @@
+"""Binding exposing blockchain confirmations as incremental consistency levels.
+
+Section 4.5 of the paper: "Correctables can track transaction confirmations
+as they accumulate and eventually the transaction becomes an irrevocable part
+of the blockchain, i.e., strongly-consistent with high probability".
+
+The binding advertises four levels, one per confirmation milestone:
+
+* ``PENDING``      — the transaction was accepted into the mempool;
+* ``CONFIRMED_1``  — it is included in the newest block (revocable);
+* ``CONFIRMED_3``  — three blocks deep;
+* ``CONFIRMED_6``  — six blocks deep: final with high probability (this is
+  the level that closes an ``invoke``).
+
+Each view's value reports the transaction id, its current confirmation count
+and the chain height, so a wallet can show progress to the user (the
+interactivity/throughput trade-off discussed in §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.bindings.base import Binding, CallbackType
+from repro.blockchain_sim.chain import Transaction
+from repro.blockchain_sim.network import BlockchainNetwork
+from repro.core.consistency import ConsistencyLevel
+from repro.core.errors import OperationError
+from repro.core.operations import Operation, custom
+
+#: Confirmation milestones exposed as consistency levels.
+PENDING = ConsistencyLevel.register("pending", 5)
+CONFIRMED_1 = ConsistencyLevel.register("confirmed_1", 12)
+CONFIRMED_3 = ConsistencyLevel.register("confirmed_3", 22)
+CONFIRMED_6 = ConsistencyLevel.register("confirmed_6", 29)
+
+#: Level -> number of confirmations required before it is delivered.
+CONFIRMATION_THRESHOLDS = {
+    PENDING: 0,
+    CONFIRMED_1: 1,
+    CONFIRMED_3: 3,
+    CONFIRMED_6: 6,
+}
+
+
+def transfer(sender: str, recipient: str, amount: float) -> Operation:
+    """An application-level transfer operation understood by this binding."""
+    return custom("transfer", recipient, sender, recipient, amount,
+                  is_read=False)
+
+
+class BlockchainBinding(Binding):
+    """Correctables binding over a :class:`BlockchainNetwork`."""
+
+    def __init__(self, network: BlockchainNetwork) -> None:
+        self.network = network
+        self.clock = network.scheduler.now
+        self.transactions_submitted = 0
+
+    def consistency_levels(self) -> List[ConsistencyLevel]:
+        return [PENDING, CONFIRMED_1, CONFIRMED_3, CONFIRMED_6]
+
+    def submit_operation(self, operation: Operation,
+                         levels: List[ConsistencyLevel],
+                         callback: CallbackType) -> None:
+        if operation.name != "transfer":
+            callback(levels[-1], None, error=OperationError(
+                f"blockchain binding does not support {operation.name!r}"))
+            return
+        sender, recipient, amount = operation.args
+        transaction = Transaction(sender=sender, recipient=recipient,
+                                  amount=float(amount))
+        self.transactions_submitted += 1
+        self.network.submit_transaction(transaction)
+
+        pending_levels = sorted(levels, key=lambda lv: lv.strength)
+        delivered: Dict[str, bool] = {level.name: False
+                                      for level in pending_levels}
+
+        def _view(confirmations: int, height: Optional[int]) -> Dict[str, Any]:
+            return {"tx_id": transaction.tx_id,
+                    "confirmations": confirmations,
+                    "chain_height": height,
+                    "sender": sender, "recipient": recipient,
+                    "amount": float(amount)}
+
+        def _deliver_reached(confirmations: int,
+                             height: Optional[int]) -> None:
+            for level in pending_levels:
+                if delivered[level.name]:
+                    continue
+                if confirmations >= CONFIRMATION_THRESHOLDS[level]:
+                    delivered[level.name] = True
+                    callback(level, _view(confirmations, height))
+
+        # The PENDING view (mempool acceptance) is available immediately.
+        _deliver_reached(0, self.network.chain.height)
+        if all(delivered.values()):
+            return
+        self.network.watch_transaction(transaction.tx_id, _deliver_reached)

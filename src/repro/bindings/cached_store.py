@@ -1,0 +1,89 @@
+"""Cache-fronted binding (Section 5.2, "Causal Consistency and Caching").
+
+:class:`CachedStoreBinding` wraps any inner binding and adds a ``CACHED``
+level in front of the inner levels:
+
+* ``invoke`` reveals the cached view first (near-instant), then every view
+  the inner binding provides — e.g. three views for the smartphone news
+  reader of Listing 6 (cache, backup, primary);
+* ``invoke_weak`` reads straight from the cache when possible;
+* ``invoke_strong`` bypasses the cache entirely;
+* writes are write-through: the cache is updated before the write is
+  forwarded, so coherence is handled by the binding rather than by
+  application code (the point of the Reddit example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bindings.base import Binding, CallbackType
+from repro.cache.client_cache import ClientCache
+from repro.core.consistency import CACHED, ConsistencyLevel, sort_levels
+from repro.core.operations import Operation
+from repro.sim.scheduler import Scheduler
+
+
+class CachedStoreBinding(Binding):
+    """Adds a client-side cache level in front of an inner binding."""
+
+    def __init__(self, inner: Binding, cache: Optional[ClientCache] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 cache_latency_ms: float = 0.5) -> None:
+        self.inner = inner
+        self.cache = cache if cache is not None else ClientCache()
+        self.scheduler = scheduler
+        self.cache_latency_ms = cache_latency_ms
+        inner_clock = getattr(inner, "clock", None)
+        if scheduler is not None:
+            self.clock = scheduler.now
+        elif inner_clock is not None:
+            self.clock = inner_clock
+
+    def consistency_levels(self) -> List[ConsistencyLevel]:
+        return sort_levels([CACHED] + list(self.inner.consistency_levels()))
+
+    def submit_operation(self, operation: Operation,
+                         levels: List[ConsistencyLevel],
+                         callback: CallbackType) -> None:
+        inner_levels = [lv for lv in levels if lv != CACHED]
+        strongest_inner = max(
+            (lv for lv in self.inner.consistency_levels()),
+            key=lambda lv: lv.strength,
+        )
+
+        if operation.name == "write":
+            # Write-through coherence: refresh the cache, then forward.
+            self.cache.put(operation.key, operation.args[0])
+            if CACHED in levels:
+                self._deliver_cached(callback, operation.args[0], hit=True)
+            if inner_levels:
+                self.inner.submit_operation(operation, inner_levels, callback)
+            return
+
+        if CACHED in levels:
+            hit, value = self.cache.lookup(operation.key)
+            if hit:
+                self._deliver_cached(callback, value, hit=True)
+            # A miss simply produces no cached view: the next level's view is
+            # the first one the application sees.
+
+        def _refreshing_callback(level, value, metadata=None, error=None):
+            # Keep the cache coherent with the freshest view we have seen.
+            if error is None and operation.name == "read" \
+                    and level == strongest_inner:
+                self.cache.put(operation.key, value)
+            callback(level, value, metadata=metadata, error=error)
+
+        if inner_levels:
+            self.inner.submit_operation(operation, inner_levels,
+                                        _refreshing_callback)
+
+    def _deliver_cached(self, callback: CallbackType, value, hit: bool) -> None:
+        def _run() -> None:
+            callback(CACHED, value, metadata={"cache_hit": hit})
+
+        if self.scheduler is None:
+            _run()
+        else:
+            self.scheduler.schedule(self.cache_latency_ms, _run)

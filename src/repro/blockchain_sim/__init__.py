@@ -1,0 +1,26 @@
+"""A small proof-of-work blockchain substrate.
+
+Section 4.5 of the paper singles out blockchain applications as a natural
+consumer of *many* incremental views: a Correctable can track a transaction's
+confirmations as they accumulate until it is, with high probability, an
+irrevocable part of the chain.  The authors implemented this use case but
+omitted it for space; this package provides the substrate so the repository
+can include it.
+
+The simulator is deliberately minimal: a single logical chain mined at
+stochastic (exponential) intervals on the simulation clock, with a
+configurable probability that the newest block is orphaned by a small fork —
+enough to exercise incremental confirmation levels and the occasional
+rollback of a transaction that only had shallow confirmations.
+"""
+
+from repro.blockchain_sim.chain import Block, Blockchain, Transaction
+from repro.blockchain_sim.network import BlockchainNetwork, BlockchainConfig
+
+__all__ = [
+    "Block",
+    "Blockchain",
+    "Transaction",
+    "BlockchainNetwork",
+    "BlockchainConfig",
+]

@@ -1,0 +1,114 @@
+"""Chain data structures: transactions, blocks, and the ledger."""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_tx_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A transfer of ``amount`` from ``sender`` to ``recipient``."""
+
+    sender: str
+    recipient: str
+    amount: float
+    tx_id: str = field(default_factory=lambda: f"tx-{next(_tx_ids):08d}")
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the transaction."""
+        return 250
+
+
+@dataclass
+class Block:
+    """One block of the chain."""
+
+    height: int
+    parent_hash: str
+    transactions: List[Transaction]
+    mined_at: float
+
+    @property
+    def block_hash(self) -> str:
+        payload = f"{self.height}:{self.parent_hash}:" + ",".join(
+            tx.tx_id for tx in self.transactions)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+GENESIS_HASH = "genesis"
+
+
+class Blockchain:
+    """A single (longest) chain with orphaning of the tip on small forks."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+        self._tx_block_height: Dict[str, int] = {}
+        self.orphaned_blocks = 0
+
+    # -- chain state -------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    def tip_hash(self) -> str:
+        return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)
+
+    # -- mutation ------------------------------------------------------------
+    def append_block(self, transactions: List[Transaction],
+                     mined_at: float) -> Block:
+        """Mine a new block containing ``transactions`` on top of the tip."""
+        block = Block(height=self.height + 1, parent_hash=self.tip_hash(),
+                      transactions=list(transactions), mined_at=mined_at)
+        self._blocks.append(block)
+        for tx in transactions:
+            self._tx_block_height[tx.tx_id] = block.height
+        return block
+
+    def orphan_tip(self) -> List[Transaction]:
+        """Drop the newest block (a competing fork won); returns its transactions.
+
+        The dropped transactions return to the mempool of whoever mined them;
+        the caller decides whether to re-include them in a later block.
+        """
+        if not self._blocks:
+            return []
+        block = self._blocks.pop()
+        self.orphaned_blocks += 1
+        for tx in block.transactions:
+            self._tx_block_height.pop(tx.tx_id, None)
+        return list(block.transactions)
+
+    # -- queries ----------------------------------------------------------------
+    def confirmations(self, tx_id: str) -> int:
+        """Number of blocks from the transaction's block to the tip (inclusive).
+
+        Zero means the transaction is not currently part of the chain (still
+        pending, or its block was orphaned).
+        """
+        height = self._tx_block_height.get(tx_id)
+        if height is None:
+            return 0
+        return self.height - height + 1
+
+    def contains(self, tx_id: str) -> bool:
+        return tx_id in self._tx_block_height
+
+    def balance(self, account: str, initial: float = 0.0) -> float:
+        """Account balance implied by every transaction on the chain."""
+        balance = initial
+        for block in self._blocks:
+            for tx in block.transactions:
+                if tx.recipient == account:
+                    balance += tx.amount
+                if tx.sender == account:
+                    balance -= tx.amount
+        return balance

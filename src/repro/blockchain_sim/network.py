@@ -1,0 +1,119 @@
+"""The mining/propagation process driving the simulated blockchain.
+
+A :class:`BlockchainNetwork` owns one :class:`~repro.blockchain_sim.chain.Blockchain`
+and, once started, mines a block every ``Exp(block_interval_ms)`` of simulated
+time, including whatever transactions are pending in the mempool.  With
+probability ``fork_probability`` the newly mined block is orphaned shortly
+afterwards (a competing fork won), which demotes its transactions back to the
+mempool — the event that makes shallow confirmations revocable and deep ones
+"final with high probability".
+
+Observers register per-transaction callbacks and are notified every time the
+confirmation count of that transaction changes (including dropping back to 0
+on an orphan).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.blockchain_sim.chain import Blockchain, Transaction
+from repro.sim.scheduler import Scheduler
+
+#: ``callback(confirmations, block_height)`` — called on every change.
+ConfirmationCallback = Callable[[int, Optional[int]], None]
+
+
+@dataclass
+class BlockchainConfig:
+    """Mining parameters (defaults scaled down from Bitcoin for fast runs)."""
+
+    #: Mean time between blocks (ms of simulated time).
+    block_interval_ms: float = 2_000.0
+    #: Probability that a freshly mined block is orphaned by a competing fork.
+    fork_probability: float = 0.05
+    #: Delay after mining at which the orphaning (if any) is discovered.
+    fork_resolution_ms: float = 400.0
+    #: Confirmations after which a transaction is considered irrevocable.
+    finality_depth: int = 6
+
+
+class BlockchainNetwork:
+    """Mines blocks over simulated time and tracks per-transaction watchers."""
+
+    def __init__(self, scheduler: Scheduler,
+                 config: Optional[BlockchainConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.scheduler = scheduler
+        self.config = config if config is not None else BlockchainConfig()
+        self.chain = Blockchain()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._mempool: List[Transaction] = []
+        self._watchers: Dict[str, List[ConfirmationCallback]] = {}
+        self._running = False
+        self.blocks_mined = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Begin mining blocks; idempotent."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next_block()
+
+    def stop(self) -> None:
+        """Stop scheduling new blocks (pending events still run)."""
+        self._running = False
+
+    def _schedule_next_block(self) -> None:
+        if not self._running:
+            return
+        delay = self._rng.expovariate(1.0 / self.config.block_interval_ms)
+        self.scheduler.schedule(delay, self._mine_block)
+
+    # -- transactions -----------------------------------------------------------
+    def submit_transaction(self, transaction: Transaction) -> None:
+        """Add a transaction to the mempool (included in the next block)."""
+        self._mempool.append(transaction)
+
+    def watch_transaction(self, tx_id: str,
+                          callback: ConfirmationCallback) -> None:
+        """Call ``callback`` whenever ``tx_id``'s confirmation count changes."""
+        self._watchers.setdefault(tx_id, []).append(callback)
+
+    def confirmations(self, tx_id: str) -> int:
+        return self.chain.confirmations(tx_id)
+
+    def mempool_size(self) -> int:
+        return len(self._mempool)
+
+    # -- mining ---------------------------------------------------------------------
+    def _mine_block(self) -> None:
+        if not self._running:
+            return
+        transactions, self._mempool = self._mempool, []
+        self.chain.append_block(transactions, mined_at=self.scheduler.now())
+        self.blocks_mined += 1
+        self._notify_all()
+        if self._rng.random() < self.config.fork_probability:
+            self.scheduler.schedule(self.config.fork_resolution_ms,
+                                    self._orphan_tip)
+        self._schedule_next_block()
+
+    def _orphan_tip(self) -> None:
+        demoted = self.chain.orphan_tip()
+        # Demoted transactions go back to the mempool and will be re-mined.
+        self._mempool.extend(demoted)
+        self._notify_all()
+
+    def _notify_all(self) -> None:
+        height = self.chain.height
+        for tx_id, callbacks in list(self._watchers.items()):
+            confirmations = self.chain.confirmations(tx_id)
+            for callback in list(callbacks):
+                callback(confirmations, height)
+            if confirmations >= self.config.finality_depth:
+                # Final with high probability: watchers are done.
+                self._watchers.pop(tx_id, None)

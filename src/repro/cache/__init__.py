@@ -1,0 +1,5 @@
+"""Client-side caching substrate used by the cache-backed bindings."""
+
+from repro.cache.client_cache import ClientCache
+
+__all__ = ["ClientCache"]

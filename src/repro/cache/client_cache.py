@@ -1,0 +1,74 @@
+"""A small LRU client-side cache with write-through coherence.
+
+The Reddit example in Section 4.1 shows applications hand-rolling cache
+access and bypassing; the :class:`~repro.bindings.cached_store.CachedStoreBinding`
+hides the same logic behind the Correctables API, and this class is the cache
+it manages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+
+class ClientCache:
+    """An LRU cache with hit/miss statistics."""
+
+    #: Sentinel distinguishing "cached None" from "not cached".
+    _MISSING = object()
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a hit refreshes the entry's recency."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the cached value or ``default`` (counts as hit/miss)."""
+        hit, value = self.lookup(key)
+        return value if hit else default
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or refresh an entry, evicting the least recently used if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an entry; returns True if it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,130 @@
+"""Client node for the simulated Cassandra cluster.
+
+A client connects to one contact replica (its coordinator) and issues reads
+and writes with explicit quorum sizes, mirroring the DataStax driver the
+paper's prototype uses.  ICG reads (``icg=True``) produce two callbacks: one
+for the coordinator's preliminary response and one for the final quorum
+response.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.cassandra_sim.config import CassandraConfig
+from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
+from repro.sim.node import Node
+
+#: ``callback(response_dict)`` where the dict carries value/found/timestamp/...
+ResponseCallback = Callable[[Dict[str, Any]], None]
+
+
+@dataclass
+class _PendingRequest:
+    kind: str
+    sent_at: float
+    on_preliminary: Optional[ResponseCallback] = None
+    on_final: Optional[ResponseCallback] = None
+    preliminary_value: Any = None
+    preliminary_seen: bool = False
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class CassandraClient(Node):
+    """A client application node issuing operations against one coordinator."""
+
+    def __init__(self, name: str, region: str, network: Network,
+                 contact: str, config: CassandraConfig) -> None:
+        super().__init__(name, region, network)
+        self.contact = contact
+        self.config = config
+        self._req_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingRequest] = {}
+        self.reads_sent = 0
+        self.writes_sent = 0
+
+    # -- issuing operations -------------------------------------------------
+    def read(self, key: str, r: int = 1, icg: bool = False,
+             on_preliminary: Optional[ResponseCallback] = None,
+             on_final: Optional[ResponseCallback] = None) -> int:
+        """Issue a read with read-quorum ``r``; returns the request id."""
+        req_id = next(self._req_ids)
+        self.reads_sent += 1
+        self._pending[req_id] = _PendingRequest(
+            kind="read", sent_at=self.scheduler.now(),
+            on_preliminary=on_preliminary, on_final=on_final)
+        self.send(self.contact, "client_read",
+                  {"req_id": req_id, "key": key, "r": r, "icg": icg},
+                  size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes + 8)
+        return req_id
+
+    def write(self, key: str, value: Any, w: int = 1,
+              on_final: Optional[ResponseCallback] = None) -> int:
+        """Issue a write with write-quorum ``w``; returns the request id."""
+        req_id = next(self._req_ids)
+        self.writes_sent += 1
+        self._pending[req_id] = _PendingRequest(
+            kind="write", sent_at=self.scheduler.now(), on_final=on_final)
+        # A YCSB update writes a single field, so the request is sized by the
+        # written payload (reads, in contrast, return the whole record and are
+        # sized by the replica using ``config.value_size_bytes`` as a floor).
+        value_bytes = estimate_payload_size(value)
+        self.send(self.contact, "client_write",
+                  {"req_id": req_id, "key": key, "value": value, "w": w},
+                  size_bytes=(MESSAGE_HEADER_BYTES + self.config.key_size_bytes
+                              + value_bytes))
+        return req_id
+
+    # -- responses ---------------------------------------------------------------
+    def on_read_preliminary(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.get(payload["req_id"])
+        if pending is None:
+            return
+        pending.preliminary_seen = True
+        pending.preliminary_value = payload["value"]
+        if pending.on_preliminary is not None:
+            pending.on_preliminary({
+                "value": payload["value"],
+                "found": payload["found"],
+                "timestamp": payload["timestamp"],
+                "replica": payload.get("replica"),
+                "latency_ms": self.scheduler.now() - pending.sent_at,
+                "is_confirmation": False,
+            })
+
+    def on_read_final(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.pop(payload["req_id"], None)
+        if pending is None:
+            return
+        is_confirmation = bool(payload.get("is_confirmation", False))
+        value = payload["value"]
+        if is_confirmation:
+            # The storage elided the payload: the preliminary value is final.
+            value = pending.preliminary_value
+        if pending.on_final is not None:
+            pending.on_final({
+                "value": value,
+                "found": payload["found"],
+                "timestamp": payload["timestamp"],
+                "is_confirmation": is_confirmation,
+                "matches_preliminary": payload.get("matches_preliminary"),
+                "latency_ms": self.scheduler.now() - pending.sent_at,
+            })
+
+    def on_write_ack_client(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.pop(payload["req_id"], None)
+        if pending is None:
+            return
+        if pending.on_final is not None:
+            pending.on_final({
+                "value": True,
+                "found": True,
+                "timestamp": payload.get("timestamp"),
+                "is_confirmation": False,
+                "latency_ms": self.scheduler.now() - pending.sent_at,
+            })

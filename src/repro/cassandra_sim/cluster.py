@@ -1,0 +1,80 @@
+"""Cluster assembly for the simulated Cassandra deployment."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cassandra_sim.client import CassandraClient
+from repro.cassandra_sim.config import CassandraConfig
+from repro.cassandra_sim.partitioner import RingPartitioner
+from repro.cassandra_sim.replica import CassandraReplica
+from repro.sim.environment import SimEnvironment
+from repro.sim.topology import Region, replica_regions_default
+
+
+class CassandraCluster:
+    """A replicated Cassandra deployment inside one simulation environment."""
+
+    def __init__(self, env: SimEnvironment,
+                 config: Optional[CassandraConfig] = None,
+                 replica_regions: Optional[Sequence[str]] = None) -> None:
+        self.env = env
+        self.config = config if config is not None else CassandraConfig()
+        regions = list(replica_regions if replica_regions is not None
+                       else replica_regions_default())
+        if len(regions) < self.config.replication_factor:
+            raise ValueError(
+                "need at least as many replica regions as the replication factor")
+        names = [f"cassandra-{i}-{region}" for i, region in enumerate(regions)]
+        self.partitioner = RingPartitioner(names, self.config.replication_factor)
+        self.replicas: List[CassandraReplica] = [
+            CassandraReplica(name, region, env.network, self.config,
+                             self.partitioner)
+            for name, region in zip(names, regions)
+        ]
+        self._by_region: Dict[str, CassandraReplica] = {}
+        for replica in self.replicas:
+            self._by_region.setdefault(replica.region, replica)
+        self._clients: List[CassandraClient] = []
+
+    # -- lookup -----------------------------------------------------------------
+    def replica_in(self, region: str) -> CassandraReplica:
+        """The replica deployed in ``region``."""
+        try:
+            return self._by_region[region]
+        except KeyError:
+            raise KeyError(f"no replica deployed in region {region}") from None
+
+    def replica_names(self) -> List[str]:
+        return [replica.name for replica in self.replicas]
+
+    # -- clients -----------------------------------------------------------------
+    def add_client(self, name: str, region: str = Region.IRL,
+                   contact_region: str = Region.FRK) -> CassandraClient:
+        """Create a client in ``region`` connected to the replica in ``contact_region``."""
+        contact = self.replica_in(contact_region)
+        client = CassandraClient(name, region, self.env.network,
+                                 contact.name, self.config)
+        self._clients.append(client)
+        return client
+
+    @property
+    def clients(self) -> List[CassandraClient]:
+        return list(self._clients)
+
+    # -- data loading ----------------------------------------------------------------
+    def preload(self, items: Dict[str, object]) -> None:
+        """Install initial data identically on every replica (time zero state)."""
+        from repro.cassandra_sim.versions import VersionedValue
+
+        for key, value in items.items():
+            version = VersionedValue(value, (0.0, "preload", 0))
+            for replica in self.replicas:
+                replica.table.apply(key, version)
+
+    # -- statistics -------------------------------------------------------------------
+    def total_preliminaries_flushed(self) -> int:
+        return sum(r.preliminaries_flushed for r in self.replicas)
+
+    def total_confirmations_sent(self) -> int:
+        return sum(r.confirmations_sent for r in self.replicas)

@@ -1,0 +1,43 @@
+"""Configuration knobs for the simulated Cassandra cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CassandraConfig:
+    """Cluster-wide configuration.
+
+    Service times model the CPU cost of handling a request at a replica; the
+    coordinator pays ``preliminary_flush_ms`` extra for every ICG read, which
+    is what produces Correctable Cassandra's throughput drop in Figure 6.
+    """
+
+    #: Number of replicas holding each key.
+    replication_factor: int = 3
+    #: CPU time a replica spends serving one read (ms).
+    read_service_ms: float = 1.5
+    #: CPU time a replica spends applying one write (ms).
+    write_service_ms: float = 1.0
+    #: Extra coordinator CPU time for flushing a preliminary response (ms).
+    preliminary_flush_ms: float = 0.6
+    #: Size of a full record returned by a read (bytes).  The single-request
+    #: microbenchmark uses 100 B objects; the YCSB load/bandwidth experiments
+    #: use the YCSB default of 10 fields × 100 B = 1000 B records.
+    value_size_bytes: int = 100
+    #: Size of a key on the wire (bytes).
+    key_size_bytes: int = 20
+    #: Per-response metadata overhead (bytes).
+    response_overhead_bytes: int = 40
+    #: Size of a confirmation message body (bytes), for the *CC optimization.
+    confirmation_bytes: int = 10
+    #: Whether final views identical to the preliminary are replaced by a
+    #: small confirmation message (the ``*CC`` optimization of Section 5.2).
+    confirmation_optimization: bool = False
+    #: Whether quorum reads repair stale replicas afterwards.
+    read_repair: bool = False
+
+    def quorum(self) -> int:
+        """Majority quorum size for this replication factor."""
+        return self.replication_factor // 2 + 1

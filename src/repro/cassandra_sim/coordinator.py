@@ -1,0 +1,79 @@
+"""Coordinator-side sessions for quorum reads and writes.
+
+In Cassandra every replica can act as a coordinator for client requests.
+These session objects track one in-flight client operation at its
+coordinator: which replicas still owe a response, whether a preliminary view
+was already flushed (Correctable Cassandra), and what to send back to the
+client when the quorum completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cassandra_sim.versions import VersionedValue, resolve
+
+
+@dataclass
+class ReadSession:
+    """One client read being coordinated."""
+
+    session_id: int
+    req_id: int
+    client: str
+    key: str
+    r: int
+    icg: bool
+    started_at: float
+    #: Replica name -> version it reported (None when the replica had no row).
+    responses: Dict[str, Optional[VersionedValue]] = field(default_factory=dict)
+    #: Value sent in the preliminary response (None until flushed).
+    preliminary: Optional[VersionedValue] = None
+    preliminary_sent: bool = False
+    final_sent: bool = False
+    #: Replicas the coordinator asked for data (including itself when local).
+    contacted: List[str] = field(default_factory=list)
+
+    def record(self, replica: str, version: Optional[VersionedValue]) -> None:
+        self.responses[replica] = version
+
+    def have_quorum(self) -> bool:
+        return len(self.responses) >= self.r
+
+    def resolved(self) -> Optional[VersionedValue]:
+        """Newest version among the responses received so far (LWW)."""
+        return resolve(self.responses.values())
+
+    def stale_replicas(self) -> List[str]:
+        """Replicas whose reported version is older than the resolved one."""
+        newest = self.resolved()
+        if newest is None:
+            return []
+        stale = []
+        for replica, version in self.responses.items():
+            if version is None or version.timestamp < newest.timestamp:
+                stale.append(replica)
+        return stale
+
+
+@dataclass
+class WriteSession:
+    """One client write being coordinated."""
+
+    session_id: int
+    req_id: int
+    client: str
+    key: str
+    w: int
+    version: VersionedValue
+    started_at: float
+    acks: List[str] = field(default_factory=list)
+    acked_client: bool = False
+
+    def record_ack(self, replica: str) -> None:
+        if replica not in self.acks:
+            self.acks.append(replica)
+
+    def have_quorum(self) -> bool:
+        return len(self.acks) >= self.w

@@ -1,0 +1,62 @@
+"""Consistent-hashing ring partitioner.
+
+Maps every key to an ordered preference list of ``replication_factor``
+replicas.  With the paper's setup (3 nodes, RF = 3) every node owns every
+key, but the ring is implemented faithfully so clusters larger than the
+replication factor behave correctly too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import List, Sequence
+
+
+def _hash_token(value: str) -> int:
+    digest = hashlib.md5(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RingPartitioner:
+    """Consistent hashing with virtual nodes."""
+
+    def __init__(self, node_names: Sequence[str], replication_factor: int,
+                 vnodes_per_node: int = 8) -> None:
+        if not node_names:
+            raise ValueError("partitioner needs at least one node")
+        if replication_factor <= 0:
+            raise ValueError("replication factor must be positive")
+        if replication_factor > len(node_names):
+            raise ValueError(
+                f"replication factor {replication_factor} exceeds cluster "
+                f"size {len(node_names)}")
+        self.node_names = list(node_names)
+        self.replication_factor = replication_factor
+        self._ring: List[tuple] = []
+        for name in self.node_names:
+            for vnode in range(vnodes_per_node):
+                token = _hash_token(f"{name}#{vnode}")
+                self._ring.append((token, name))
+        self._ring.sort()
+        self._tokens = [token for token, _ in self._ring]
+
+    def replicas_for(self, key: str) -> List[str]:
+        """The ordered preference list of replicas responsible for ``key``."""
+        token = _hash_token(key)
+        start = bisect_right(self._tokens, token) % len(self._ring)
+        replicas: List[str] = []
+        index = start
+        while len(replicas) < self.replication_factor:
+            _, name = self._ring[index]
+            if name not in replicas:
+                replicas.append(name)
+            index = (index + 1) % len(self._ring)
+        return replicas
+
+    def primary_for(self, key: str) -> str:
+        """The first replica in the preference list for ``key``."""
+        return self.replicas_for(key)[0]
+
+    def is_replica(self, node_name: str, key: str) -> bool:
+        return node_name in self.replicas_for(key)

@@ -1,0 +1,290 @@
+"""A Cassandra replica node (which also acts as a coordinator).
+
+Message kinds handled:
+
+* ``client_read`` / ``client_write`` — requests from a client node; this
+  replica becomes the coordinator for the operation;
+* ``read_req`` / ``read_resp`` — coordinator ↔ replica data reads;
+* ``write_req`` / ``write_ack`` — coordinator ↔ replica write application
+  (write_req is also how asynchronous replication beyond W happens);
+* responses to clients: ``read_preliminary``, ``read_final``,
+  ``write_ack_client``.
+
+Correctable Cassandra behaviour (Section 5.2): when a client read carries the
+``icg`` flag, the coordinator performs *preliminary flushing* — an extra job
+on its processing queue that sends the first locally available version to the
+client before the quorum completes — and, if the confirmation optimization is
+enabled, replaces an identical final response with a small confirmation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.cassandra_sim.config import CassandraConfig
+from repro.cassandra_sim.coordinator import ReadSession, WriteSession
+from repro.cassandra_sim.partitioner import RingPartitioner
+from repro.cassandra_sim.storage import LocalTable
+from repro.cassandra_sim.versions import VersionedValue
+from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
+from repro.sim.node import Node
+
+
+class CassandraReplica(Node):
+    """One storage node: local LWW table plus coordinator logic."""
+
+    def __init__(self, name: str, region: str, network: Network,
+                 config: CassandraConfig, partitioner: RingPartitioner) -> None:
+        super().__init__(name, region, network)
+        self.config = config
+        self.partitioner = partitioner
+        self.table = LocalTable()
+        self._session_ids = itertools.count(1)
+        self._write_seq = itertools.count(1)
+        self._read_sessions: Dict[int, ReadSession] = {}
+        self._write_sessions: Dict[int, WriteSession] = {}
+        # Instrumentation used by the benchmarks.
+        self.reads_coordinated = 0
+        self.writes_coordinated = 0
+        self.preliminaries_flushed = 0
+        self.confirmations_sent = 0
+
+    # -- helpers --------------------------------------------------------------
+    def _other_replicas_by_distance(self, key: str) -> List[str]:
+        """Replicas for ``key`` other than this node, closest first."""
+        replicas = [r for r in self.partitioner.replicas_for(key) if r != self.name]
+        topology = self.network.topology
+
+        def _distance(name: str) -> float:
+            other = self.network.node(name)
+            return topology.rtt(self.region, other.region)
+
+        return sorted(replicas, key=lambda name: (_distance(name), name))
+
+    def _value_bytes(self, version: Optional[VersionedValue]) -> int:
+        if version is None:
+            return 8
+        return max(self.config.value_size_bytes,
+                   estimate_payload_size(version.value))
+
+    # -- client read path -------------------------------------------------------
+    def on_client_read(self, message: Message) -> None:
+        payload = message.payload
+        self.reads_coordinated += 1
+        session = ReadSession(
+            session_id=next(self._session_ids),
+            req_id=payload["req_id"],
+            client=message.src,
+            key=payload["key"],
+            r=int(payload["r"]),
+            icg=bool(payload.get("icg", False)),
+            started_at=self.scheduler.now(),
+        )
+        self._read_sessions[session.session_id] = session
+        self.process(self._coordinate_read, session,
+                     service_time_ms=self.config.read_service_ms)
+
+    def _coordinate_read(self, session: ReadSession) -> None:
+        key = session.key
+        replicas = self.partitioner.replicas_for(key)
+        local_participant = self.name in replicas
+
+        if local_participant:
+            version = self.table.read(key)
+            session.record(self.name, version)
+            session.contacted.append(self.name)
+            if session.icg:
+                # Preliminary flushing: extra coordinator work, then leak the
+                # local version to the client before the quorum completes.
+                self.process(self._flush_preliminary, session,
+                             service_time_ms=self.config.preliminary_flush_ms)
+
+        remote_needed = session.r - (1 if local_participant else 0)
+        for replica_name in self._other_replicas_by_distance(key)[:max(0, remote_needed)]:
+            session.contacted.append(replica_name)
+            self.send(replica_name, "read_req",
+                      {"session_id": session.session_id, "key": key},
+                      size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes)
+
+        self._maybe_finish_read(session)
+
+    def _flush_preliminary(self, session: ReadSession) -> None:
+        if session.final_sent or session.preliminary_sent:
+            return
+        version = session.responses.get(self.name)
+        if version is None and self.name not in session.responses:
+            return
+        session.preliminary = version
+        session.preliminary_sent = True
+        self.preliminaries_flushed += 1
+        self.send(session.client, "read_preliminary",
+                  {"req_id": session.req_id,
+                   "found": version is not None,
+                   "value": version.value if version else None,
+                   "timestamp": version.timestamp if version else None,
+                   "replica": self.name},
+                  size_bytes=(MESSAGE_HEADER_BYTES
+                              + self.config.response_overhead_bytes
+                              + self._value_bytes(version)))
+
+    def on_read_req(self, message: Message) -> None:
+        payload = message.payload
+        self.process(self._serve_read_req, message.src,
+                     payload["session_id"], payload["key"],
+                     service_time_ms=self.config.read_service_ms)
+
+    def _serve_read_req(self, coordinator: str, session_id: int, key: str) -> None:
+        version = self.table.read(key)
+        self.send(coordinator, "read_resp",
+                  {"session_id": session_id,
+                   "replica": self.name,
+                   "found": version is not None,
+                   "value": version.value if version else None,
+                   "timestamp": version.timestamp if version else None},
+                  size_bytes=(MESSAGE_HEADER_BYTES
+                              + self.config.response_overhead_bytes
+                              + self._value_bytes(version)))
+
+    def on_read_resp(self, message: Message) -> None:
+        payload = message.payload
+        session = self._read_sessions.get(payload["session_id"])
+        if session is None or session.final_sent:
+            return
+        version = None
+        if payload["found"]:
+            version = VersionedValue(payload["value"], tuple(payload["timestamp"]))
+        session.record(payload["replica"], version)
+        # A coordinator that is not a replica for the key flushes the first
+        # remote response as the preliminary view.
+        if session.icg and not session.preliminary_sent \
+                and self.name not in session.responses:
+            session.preliminary = version
+            session.preliminary_sent = True
+            self.preliminaries_flushed += 1
+            self.send(session.client, "read_preliminary",
+                      {"req_id": session.req_id,
+                       "found": version is not None,
+                       "value": version.value if version else None,
+                       "timestamp": version.timestamp if version else None,
+                       "replica": payload["replica"]},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.response_overhead_bytes
+                                  + self._value_bytes(version)))
+        self._maybe_finish_read(session)
+
+    def _maybe_finish_read(self, session: ReadSession) -> None:
+        if session.final_sent or not session.have_quorum():
+            return
+        session.final_sent = True
+        newest = session.resolved()
+        matches_preliminary = (
+            session.preliminary_sent
+            and ((newest is None and session.preliminary is None)
+                 or (newest is not None and session.preliminary is not None
+                     and newest.value == session.preliminary.value))
+        )
+        use_confirmation = (session.icg and self.config.confirmation_optimization
+                            and matches_preliminary)
+        if use_confirmation:
+            self.confirmations_sent += 1
+            size = MESSAGE_HEADER_BYTES + self.config.confirmation_bytes
+            payload = {"req_id": session.req_id,
+                       "is_confirmation": True,
+                       "found": newest is not None,
+                       "value": None,
+                       "timestamp": newest.timestamp if newest else None,
+                       "matches_preliminary": True}
+        else:
+            size = (MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes
+                    + self._value_bytes(newest))
+            payload = {"req_id": session.req_id,
+                       "is_confirmation": False,
+                       "found": newest is not None,
+                       "value": newest.value if newest else None,
+                       "timestamp": newest.timestamp if newest else None,
+                       "matches_preliminary": matches_preliminary}
+        self.send(session.client, "read_final", payload, size_bytes=size)
+
+        if self.config.read_repair and newest is not None:
+            for replica_name in session.stale_replicas():
+                if replica_name == self.name:
+                    self.table.apply(session.key, newest)
+                    continue
+                self.send(replica_name, "write_req",
+                          {"key": session.key, "value": newest.value,
+                           "timestamp": newest.timestamp, "session_id": None},
+                          size_bytes=(MESSAGE_HEADER_BYTES
+                                      + self.config.key_size_bytes
+                                      + self._value_bytes(newest)))
+        del self._read_sessions[session.session_id]
+
+    # -- client write path --------------------------------------------------------
+    def on_client_write(self, message: Message) -> None:
+        payload = message.payload
+        self.writes_coordinated += 1
+        timestamp = (self.scheduler.now(), self.name, next(self._write_seq))
+        session = WriteSession(
+            session_id=next(self._session_ids),
+            req_id=payload["req_id"],
+            client=message.src,
+            key=payload["key"],
+            w=int(payload["w"]),
+            version=VersionedValue(payload["value"], timestamp),
+            started_at=self.scheduler.now(),
+        )
+        self._write_sessions[session.session_id] = session
+        self.process(self._coordinate_write, session,
+                     service_time_ms=self.config.write_service_ms)
+
+    def _coordinate_write(self, session: WriteSession) -> None:
+        key = session.key
+        replicas = self.partitioner.replicas_for(key)
+        if self.name in replicas:
+            self.table.apply(key, session.version)
+            session.record_ack(self.name)
+        # Send the write to every other replica: the ones beyond W make up
+        # the asynchronous (eventual) replication path.
+        for replica_name in self._other_replicas_by_distance(key):
+            self.send(replica_name, "write_req",
+                      {"key": key,
+                       "value": session.version.value,
+                       "timestamp": session.version.timestamp,
+                       "session_id": session.session_id},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.key_size_bytes
+                                  + self._value_bytes(session.version)))
+        self._maybe_finish_write(session)
+
+    def on_write_req(self, message: Message) -> None:
+        payload = message.payload
+        self.process(self._apply_remote_write, message.src, payload,
+                     service_time_ms=self.config.write_service_ms)
+
+    def _apply_remote_write(self, coordinator: str, payload: dict) -> None:
+        version = VersionedValue(payload["value"], tuple(payload["timestamp"]))
+        self.table.apply(payload["key"], version)
+        if payload.get("session_id") is not None:
+            self.send(coordinator, "write_ack",
+                      {"session_id": payload["session_id"], "replica": self.name},
+                      size_bytes=MESSAGE_HEADER_BYTES + 10)
+
+    def on_write_ack(self, message: Message) -> None:
+        payload = message.payload
+        session = self._write_sessions.get(payload["session_id"])
+        if session is None:
+            return
+        session.record_ack(payload["replica"])
+        self._maybe_finish_write(session)
+
+    def _maybe_finish_write(self, session: WriteSession) -> None:
+        if session.acked_client or not session.have_quorum():
+            return
+        session.acked_client = True
+        self.send(session.client, "write_ack_client",
+                  {"req_id": session.req_id, "timestamp": session.version.timestamp},
+                  size_bytes=MESSAGE_HEADER_BYTES + 10)
+        # Keep the session until all replicas ack so late acks are absorbed,
+        # unless every replica already answered.
+        if len(session.acks) >= self.config.replication_factor:
+            del self._write_sessions[session.session_id]

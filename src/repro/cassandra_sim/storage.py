@@ -1,0 +1,42 @@
+"""Per-replica storage engine: a last-write-wins versioned table."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cassandra_sim.versions import VersionedValue
+
+
+class LocalTable:
+    """The key-value state one replica holds locally."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[str, VersionedValue] = {}
+        self.reads = 0
+        self.writes_applied = 0
+        self.writes_ignored = 0
+
+    def read(self, key: str) -> Optional[VersionedValue]:
+        """Return the locally stored version of ``key`` (None if absent)."""
+        self.reads += 1
+        return self._rows.get(key)
+
+    def apply(self, key: str, version: VersionedValue) -> bool:
+        """Apply a write if it is newer than the stored version (LWW).
+
+        Returns True when the write was applied, False when it was stale and
+        therefore ignored.
+        """
+        current = self._rows.get(key)
+        if version.newer_than(current):
+            self._rows[key] = version
+            self.writes_applied += 1
+            return True
+        self.writes_ignored += 1
+        return False
+
+    def contains(self, key: str) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)

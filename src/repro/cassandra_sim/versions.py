@@ -1,0 +1,36 @@
+"""Versioned values and last-write-wins resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Tuple
+
+#: A write timestamp: (simulated time, coordinator name, per-coordinator seq).
+#: Tuple comparison gives a total order with deterministic tie-breaking.
+Timestamp = Tuple[float, str, int]
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value together with the timestamp of the write that produced it."""
+
+    value: Any
+    timestamp: Timestamp
+
+    def newer_than(self, other: Optional["VersionedValue"]) -> bool:
+        """Last-write-wins: strictly newer timestamp wins."""
+        if other is None:
+            return True
+        return self.timestamp > other.timestamp
+
+
+def resolve(versions: Iterable[Optional[VersionedValue]]
+            ) -> Optional[VersionedValue]:
+    """Pick the newest non-missing version among replica responses."""
+    newest: Optional[VersionedValue] = None
+    for version in versions:
+        if version is None:
+            continue
+        if newest is None or version.newer_than(newest):
+            newest = version
+    return newest

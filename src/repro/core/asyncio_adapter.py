@@ -1,0 +1,72 @@
+"""Bridging Correctables to ``asyncio``.
+
+The simulator drives Correctables with plain callbacks, but real deployments
+(the paper's prototype sits on top of the DataStax driver's futures) are more
+naturally consumed with ``async``/``await``.  These helpers convert a
+Correctable into awaitable objects:
+
+* :func:`final_value` — await the final value;
+* :func:`view_stream` — an async iterator yielding every view, final last;
+* :func:`promise_to_future` — convert a bare :class:`Promise`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Optional
+
+from repro.core.correctable import Correctable
+from repro.core.promise import Promise
+from repro.core.views import View
+
+
+def promise_to_future(promise: Promise,
+                      loop: Optional[asyncio.AbstractEventLoop] = None
+                      ) -> "asyncio.Future[Any]":
+    """Return an ``asyncio.Future`` resolved/rejected with the promise."""
+    loop = loop or asyncio.get_event_loop()
+    future: "asyncio.Future[Any]" = loop.create_future()
+
+    def _resolve(value: Any) -> None:
+        if not future.done():
+            loop.call_soon_threadsafe(
+                lambda: None if future.done() else future.set_result(value))
+
+    def _reject(error: BaseException) -> None:
+        if not future.done():
+            loop.call_soon_threadsafe(
+                lambda: None if future.done() else future.set_exception(error))
+
+    promise.on_ready(_resolve)
+    promise.on_error(_reject)
+    return future
+
+
+async def final_value(correctable: Correctable) -> Any:
+    """Await the final value of a Correctable."""
+    return await promise_to_future(correctable.final_promise())
+
+
+async def view_stream(correctable: Correctable) -> AsyncIterator[View]:
+    """Yield every view of a Correctable as it arrives (final view last).
+
+    Raises the Correctable's error if it closes with one.
+    """
+    loop = asyncio.get_event_loop()
+    queue: "asyncio.Queue[tuple]" = asyncio.Queue()
+
+    def _push(kind: str, payload: Any) -> None:
+        loop.call_soon_threadsafe(queue.put_nowait, (kind, payload))
+
+    correctable.set_callbacks(
+        on_update=lambda view: _push("update", view),
+        on_final=lambda view: _push("final", view),
+        on_error=lambda exc: _push("error", exc),
+    )
+    while True:
+        kind, payload = await queue.get()
+        if kind == "error":
+            raise payload
+        yield payload
+        if kind == "final":
+            return

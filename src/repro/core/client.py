@@ -1,0 +1,118 @@
+"""The application-facing Correctables client (Section 3.2).
+
+The API has exactly three methods:
+
+* :meth:`CorrectableClient.invoke_weak` — one result, weakest level;
+* :meth:`CorrectableClient.invoke_strong` — one result, strongest level;
+* :meth:`CorrectableClient.invoke` — incremental consistency guarantees: one
+  view per requested level, weakest first, the strongest closing the
+  Correctable.
+
+CamelCase aliases (``invokeWeak`` etc.) are provided for parity with the
+paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.consistency import ConsistencyLevel, sort_levels
+from repro.core.correctable import Correctable
+from repro.core.errors import BindingError, UnsupportedConsistencyError
+from repro.core.operations import Operation
+
+
+class CorrectableClient:
+    """Entry point applications use to access a replicated store via a binding."""
+
+    def __init__(self, binding, clock: Optional[Callable[[], float]] = None) -> None:
+        self.binding = binding
+        self._clock = clock if clock is not None else getattr(binding, "clock", None)
+        # Lightweight instrumentation used by the evaluation harness.
+        self.invocations = 0
+        self.weak_invocations = 0
+        self.strong_invocations = 0
+        self.icg_invocations = 0
+
+    # -- level bookkeeping --------------------------------------------------
+    def available_levels(self) -> List[ConsistencyLevel]:
+        """Consistency levels the binding advertises, weakest first."""
+        levels = sort_levels(self.binding.consistency_levels())
+        if not levels:
+            raise BindingError("binding advertises no consistency levels")
+        return levels
+
+    def _validate(self, requested: Iterable[ConsistencyLevel]) -> List[ConsistencyLevel]:
+        available = self.available_levels()
+        requested = sort_levels(requested)
+        if not requested:
+            raise UnsupportedConsistencyError(requested, available)
+        missing = [lv for lv in requested if lv not in available]
+        if missing:
+            raise UnsupportedConsistencyError(missing, available)
+        return requested
+
+    # -- the three API methods ------------------------------------------------
+    def invoke(self, operation: Operation,
+               levels: Optional[Iterable[ConsistencyLevel]] = None) -> Correctable:
+        """Execute ``operation`` with incremental consistency guarantees.
+
+        Returns a :class:`Correctable` that receives one view per requested
+        level (weakest to strongest) and closes with the strongest one.  When
+        ``levels`` is omitted, every level the binding offers is requested.
+        """
+        if levels is None:
+            requested = self.available_levels()
+        else:
+            requested = self._validate(levels)
+        self.invocations += 1
+        if len(requested) > 1:
+            self.icg_invocations += 1
+        return self._submit(operation, requested)
+
+    def invoke_weak(self, operation: Operation) -> Correctable:
+        """Execute ``operation`` under the weakest available level only."""
+        self.invocations += 1
+        self.weak_invocations += 1
+        return self._submit(operation, [self.available_levels()[0]])
+
+    def invoke_strong(self, operation: Operation) -> Correctable:
+        """Execute ``operation`` under the strongest available level only."""
+        self.invocations += 1
+        self.strong_invocations += 1
+        return self._submit(operation, [self.available_levels()[-1]])
+
+    # CamelCase aliases matching the paper's listings.
+    invokeWeak = invoke_weak
+    invokeStrong = invoke_strong
+
+    # -- plumbing ---------------------------------------------------------------
+    def _submit(self, operation: Operation,
+                levels: List[ConsistencyLevel]) -> Correctable:
+        correctable = Correctable(clock=self._clock)
+        strongest_requested = levels[-1]
+
+        def _callback(level: ConsistencyLevel, value, metadata=None, error=None):
+            metadata = metadata or {}
+            if error is not None:
+                if not correctable.is_done():
+                    correctable.fail(error)
+                return
+            if level not in levels:
+                raise BindingError(
+                    f"binding delivered unrequested level {level.name}")
+            if level == strongest_requested:
+                if correctable.is_done():
+                    return
+                if metadata.get("is_confirmation"):
+                    latest = correctable.latest_view()
+                    confirmed = latest.value if latest is not None else value
+                    correctable.close(confirmed, level, metadata=metadata,
+                                      is_confirmation=True)
+                else:
+                    correctable.close(value, level, metadata=metadata)
+            else:
+                correctable.update(value, level, metadata=metadata)
+
+        self.binding.submit_operation(operation, levels, _callback)
+        return correctable

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Correctables library."""
+
+from __future__ import annotations
+
+
+class CorrectableError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class OperationError(CorrectableError):
+    """An operation failed at the storage layer (e.g. key missing, rejected)."""
+
+
+class BindingError(CorrectableError):
+    """A binding was misused or misbehaved (wrong level, duplicate close, ...)."""
+
+
+class UnsupportedConsistencyError(BindingError):
+    """The application requested a level the binding does not provide."""
+
+    def __init__(self, requested, available) -> None:
+        super().__init__(
+            f"requested consistency level(s) {requested} not offered by "
+            f"binding (available: {available})"
+        )
+        self.requested = requested
+        self.available = available
+
+
+class InvalidStateError(CorrectableError):
+    """A Correctable or Promise was driven through an illegal transition."""
+
+
+class TimeoutError_(CorrectableError):
+    """An operation did not complete within its deadline."""

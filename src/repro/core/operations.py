@@ -1,0 +1,63 @@
+"""Operation descriptors.
+
+Applications describe *what* they want done (read a key, dequeue from a
+queue); bindings decide *how*.  An :class:`Operation` is therefore a plain
+value object: a name, a key (used for routing and byte accounting), and
+optional arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A storage operation to be executed under one or more consistency levels."""
+
+    name: str
+    key: Optional[str] = None
+    args: tuple = ()
+    kwargs: tuple = ()  # stored as a sorted tuple of (key, value) pairs
+    is_read: bool = True
+
+    def arguments(self) -> Dict[str, Any]:
+        """The keyword arguments as a dictionary."""
+        return dict(self.kwargs)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``read(user:42)``."""
+        target = self.key if self.key is not None else ""
+        return f"{self.name}({target})"
+
+
+def _freeze_kwargs(kwargs: Dict[str, Any]) -> tuple:
+    return tuple(sorted(kwargs.items()))
+
+
+def read(key: str) -> Operation:
+    """Read the value stored under ``key``."""
+    return Operation(name="read", key=key, is_read=True)
+
+
+def write(key: str, value: Any) -> Operation:
+    """Write ``value`` under ``key``."""
+    return Operation(name="write", key=key, args=(value,), is_read=False)
+
+
+def enqueue(queue: str, item: Any) -> Operation:
+    """Append ``item`` to the replicated queue named ``queue``."""
+    return Operation(name="enqueue", key=queue, args=(item,), is_read=False)
+
+
+def dequeue(queue: str) -> Operation:
+    """Remove and return the head of the replicated queue named ``queue``."""
+    return Operation(name="dequeue", key=queue, is_read=False)
+
+
+def custom(name: str, key: Optional[str] = None, *args: Any,
+           is_read: bool = True, **kwargs: Any) -> Operation:
+    """An application-defined operation understood by a specific binding."""
+    return Operation(name=name, key=key, args=tuple(args),
+                     kwargs=_freeze_kwargs(kwargs), is_read=is_read)

@@ -1,0 +1,176 @@
+"""Promises: single-value asynchronous placeholders.
+
+Correctables descend from Promises (Liskov & Shrira, PLDI '88): a Promise is
+either *blocked* or *ready* (or *failed*); callbacks registered with
+:meth:`Promise.on_ready` fire when the value arrives, immediately if it is
+already there.  :meth:`Promise.then` chains computations, which is enough to
+express the monadic style modern Promise libraries provide.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+from repro.core.errors import InvalidStateError
+
+
+class PromiseState(Enum):
+    """Lifecycle of a :class:`Promise`."""
+
+    BLOCKED = "blocked"
+    READY = "ready"
+    FAILED = "failed"
+
+
+class Promise:
+    """A placeholder for a single value that becomes available later."""
+
+    def __init__(self) -> None:
+        self._state = PromiseState.BLOCKED
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._ready_callbacks: List[Callable[[Any], None]] = []
+        self._error_callbacks: List[Callable[[BaseException], None]] = []
+
+    # -- state ------------------------------------------------------------
+    @property
+    def state(self) -> PromiseState:
+        return self._state
+
+    def is_ready(self) -> bool:
+        return self._state is PromiseState.READY
+
+    def is_failed(self) -> bool:
+        return self._state is PromiseState.FAILED
+
+    def is_done(self) -> bool:
+        return self._state is not PromiseState.BLOCKED
+
+    @property
+    def value(self) -> Any:
+        """The resolved value.
+
+        Raises:
+            InvalidStateError: if the promise is still blocked.
+            The original exception: if the promise failed.
+        """
+        if self._state is PromiseState.BLOCKED:
+            raise InvalidStateError("promise is still blocked")
+        if self._state is PromiseState.FAILED:
+            assert self._error is not None
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    # -- resolution --------------------------------------------------------
+    def resolve(self, value: Any) -> None:
+        """Fulfil the promise with ``value`` and run ready callbacks."""
+        if self._state is not PromiseState.BLOCKED:
+            raise InvalidStateError(
+                f"promise already {self._state.value}; cannot resolve")
+        self._state = PromiseState.READY
+        self._value = value
+        callbacks, self._ready_callbacks = self._ready_callbacks, []
+        self._error_callbacks = []
+        for callback in callbacks:
+            callback(value)
+
+    def reject(self, error: BaseException) -> None:
+        """Fail the promise with ``error`` and run error callbacks."""
+        if self._state is not PromiseState.BLOCKED:
+            raise InvalidStateError(
+                f"promise already {self._state.value}; cannot reject")
+        self._state = PromiseState.FAILED
+        self._error = error
+        callbacks, self._error_callbacks = self._error_callbacks, []
+        self._ready_callbacks = []
+        for callback in callbacks:
+            callback(error)
+
+    # -- observation -------------------------------------------------------
+    def on_ready(self, callback: Callable[[Any], None]) -> "Promise":
+        """Run ``callback(value)`` when (or if already) ready."""
+        if self._state is PromiseState.READY:
+            callback(self._value)
+        elif self._state is PromiseState.BLOCKED:
+            self._ready_callbacks.append(callback)
+        return self
+
+    def on_error(self, callback: Callable[[BaseException], None]) -> "Promise":
+        """Run ``callback(error)`` when (or if already) failed."""
+        if self._state is PromiseState.FAILED:
+            assert self._error is not None
+            callback(self._error)
+        elif self._state is PromiseState.BLOCKED:
+            self._error_callbacks.append(callback)
+        return self
+
+    def then(self, fn: Callable[[Any], Any]) -> "Promise":
+        """Chain a computation; returns a new Promise for ``fn(value)``.
+
+        If ``fn`` returns a Promise, the result is flattened (monadic bind).
+        Exceptions raised by ``fn`` reject the returned Promise.
+        """
+        chained = Promise()
+
+        def _run(value: Any) -> None:
+            try:
+                result = fn(value)
+            except BaseException as exc:  # noqa: BLE001 - propagate to promise
+                chained.reject(exc)
+                return
+            if isinstance(result, Promise):
+                result.on_ready(chained.resolve)
+                result.on_error(chained.reject)
+            else:
+                chained.resolve(result)
+
+        self.on_ready(_run)
+        self.on_error(chained.reject)
+        return chained
+
+    # -- combinators -------------------------------------------------------
+    @staticmethod
+    def resolved(value: Any) -> "Promise":
+        """A promise that is already ready with ``value``."""
+        promise = Promise()
+        promise.resolve(value)
+        return promise
+
+    @staticmethod
+    def failed(error: BaseException) -> "Promise":
+        """A promise that is already failed with ``error``."""
+        promise = Promise()
+        promise.reject(error)
+        return promise
+
+    @staticmethod
+    def all(promises: List["Promise"]) -> "Promise":
+        """A promise for the list of all values; fails on the first failure."""
+        combined = Promise()
+        if not promises:
+            combined.resolve([])
+            return combined
+        results: List[Any] = [None] * len(promises)
+        remaining = [len(promises)]
+
+        def _make_handler(index: int) -> Callable[[Any], None]:
+            def _handler(value: Any) -> None:
+                results[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0 and not combined.is_done():
+                    combined.resolve(list(results))
+            return _handler
+
+        def _fail(error: BaseException) -> None:
+            if not combined.is_done():
+                combined.reject(error)
+
+        for index, promise in enumerate(promises):
+            promise.on_ready(_make_handler(index))
+            promise.on_error(_fail)
+        return combined

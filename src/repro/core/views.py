@@ -1,0 +1,38 @@
+"""Views: the values a Correctable delivers.
+
+A :class:`View` pairs an operation result with the consistency level it
+satisfies and bookkeeping used by the evaluation harness (arrival time,
+whether the storage sent a full value or just a confirmation message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.consistency import ConsistencyLevel
+
+
+@dataclass
+class View:
+    """One incremental view on the result of an operation."""
+
+    value: Any
+    consistency: ConsistencyLevel
+    #: Simulated (or wall-clock) time at which the view was delivered.
+    timestamp: Optional[float] = None
+    #: True when the storage replaced the payload with a small confirmation
+    #: because the final value equals the preliminary one (the ``*CC``
+    #: optimization of Section 5.2).
+    is_confirmation: bool = False
+    #: Free-form binding metadata (replica that answered, quorum size, ...).
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def same_value(self, other: "View") -> bool:
+        """Whether two views carry the same result value."""
+        return self.value == other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", confirmation" if self.is_confirmation else ""
+        return (f"View({self.value!r}, {self.consistency.name}"
+                f", t={self.timestamp}{flag})")

@@ -1,0 +1,57 @@
+"""Bandwidth probes over the simulated network.
+
+Figures 8 and 10 report *client-replica* bytes per operation.  A
+:class:`BandwidthProbe` snapshots the byte counters on the links between a
+set of client nodes and a set of server nodes, so the harness can scope
+measurements to its steady-state window and divide by the number of
+completed operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.sim.network import Network
+
+
+class BandwidthProbe:
+    """Measures traffic between two groups of nodes over a window."""
+
+    def __init__(self, network: Network, client_names: Iterable[str],
+                 server_names: Iterable[str]) -> None:
+        self.network = network
+        self.client_names = list(client_names)
+        self.server_names = list(server_names)
+        self._start_bytes: Optional[int] = None
+        self._stop_bytes: Optional[int] = None
+
+    def _current_bytes(self) -> int:
+        total = 0
+        for client in self.client_names:
+            for server in self.server_names:
+                total += self.network.bytes_between(client, server)
+        return total
+
+    def start(self) -> None:
+        """Begin the measurement window."""
+        self._start_bytes = self._current_bytes()
+        self._stop_bytes = None
+
+    def stop(self) -> None:
+        """End the measurement window."""
+        if self._start_bytes is None:
+            raise RuntimeError("probe was never started")
+        self._stop_bytes = self._current_bytes()
+
+    def bytes_transferred(self) -> int:
+        """Bytes exchanged during the window (stop() implied if still open)."""
+        if self._start_bytes is None:
+            raise RuntimeError("probe was never started")
+        end = self._stop_bytes if self._stop_bytes is not None else self._current_bytes()
+        return end - self._start_bytes
+
+    def kilobytes_per_op(self, operations: int) -> float:
+        """Average kB transferred per completed operation in the window."""
+        if operations <= 0:
+            return 0.0
+        return self.bytes_transferred() / operations / 1000.0

@@ -1,0 +1,58 @@
+"""Divergence accounting: how often preliminary views disagree with final ones.
+
+Figure 7 measures the fraction of ICG reads whose preliminary (weak) value
+differs from the final (strong) one — the misspeculation rate applications
+speculating on preliminary views would observe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class DivergenceCounter:
+    """Counts matched / diverged preliminary-final pairs."""
+
+    def __init__(self) -> None:
+        self.matched = 0
+        self.diverged = 0
+        #: Operations where no preliminary view arrived before the final one.
+        self.missing_preliminary = 0
+
+    def record(self, preliminary: Any, final: Any,
+               had_preliminary: bool = True) -> bool:
+        """Record one ICG operation; returns True when the views diverged."""
+        if not had_preliminary:
+            self.missing_preliminary += 1
+            return False
+        return self.record_outcome(preliminary != final)
+
+    def record_outcome(self, diverged: bool,
+                       had_preliminary: bool = True) -> bool:
+        """Record an already-compared operation outcome."""
+        if not had_preliminary:
+            self.missing_preliminary += 1
+            return False
+        if diverged:
+            self.diverged += 1
+            return True
+        self.matched += 1
+        return False
+
+    @property
+    def total(self) -> int:
+        return self.matched + self.diverged
+
+    def divergence_rate(self) -> float:
+        """Fraction of compared operations whose views differed (0..1)."""
+        if self.total == 0:
+            return 0.0
+        return self.diverged / self.total
+
+    def divergence_percent(self) -> float:
+        return 100.0 * self.divergence_rate()
+
+    def merge(self, other: "DivergenceCounter") -> None:
+        self.matched += other.matched
+        self.diverged += other.diverged
+        self.missing_preliminary += other.missing_preliminary

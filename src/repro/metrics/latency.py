@@ -1,0 +1,92 @@
+"""Latency recording with averages and percentiles."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+
+class LatencyRecorder:
+    """Collects latency samples (milliseconds) and summarizes them."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            raise ValueError(f"negative latency: {latency_ms}")
+        self._samples.append(latency_ms)
+        self._sorted = None
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        for value in latencies:
+            self.record(value)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        self._samples.extend(other._samples)
+        self._sorted = None
+
+    # -- summaries ---------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean()
+        variance = sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(variance)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 < p <= 100) using linear interpolation."""
+        if not self._samples:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        fraction = rank - low
+        return data[low] + (data[high] - data[low]) * fraction
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict:
+        """Mean / p50 / p99 / min / max / count in one dictionary."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean_ms": self.mean(),
+            "p50_ms": self.p50(),
+            "p99_ms": self.p99(),
+            "min_ms": self.minimum(),
+            "max_ms": self.maximum(),
+        }

@@ -1,0 +1,45 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark harnesses print the same rows/series the paper's figures show;
+these helpers keep that output aligned and readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        parts.append(_format_cell(cell).rjust(width))
+    return "  ".join(parts)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned table with a header rule; returns a string."""
+    rows = [list(row) for row in rows]
+    columns = len(headers)
+    widths: List[int] = [len(str(h)) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(_format_cell(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

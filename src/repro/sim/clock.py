@@ -1,0 +1,33 @@
+"""Simulated clock.
+
+The clock only advances when the scheduler executes events; code running
+inside the simulation reads time through :meth:`Clock.now`.
+"""
+
+
+class Clock:
+    """A monotonically advancing simulated clock (milliseconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in milliseconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            ValueError: if ``timestamp`` lies in the past.  The simulation
+                never travels backwards; a violation indicates a scheduler
+                bug rather than a recoverable condition.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.3f}ms)"

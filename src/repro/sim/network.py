@@ -1,0 +1,202 @@
+"""Message-passing network with latency and byte accounting.
+
+Nodes register under a unique name; :meth:`Network.send` delivers a
+:class:`Message` to the destination node's ``handle_message`` after a one-way
+delay drawn from the :class:`~repro.sim.topology.Topology`.  Every message's
+size is charged to the (source, destination) link, which is what the paper's
+bandwidth figures (Figures 8 and 10) measure on the client-replica links.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.sim.scheduler import Scheduler
+from repro.sim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.node import Node
+
+#: Fixed per-message framing overhead (TCP/IP + RPC headers), in bytes.
+MESSAGE_HEADER_BYTES = 50
+
+_message_ids = itertools.count(1)
+
+
+def estimate_payload_size(payload: Any) -> int:
+    """Rough byte size of a message payload.
+
+    The simulator does not serialize payloads; this helper estimates sizes so
+    bandwidth figures have realistic proportions.  Callers that know the true
+    wire size (e.g. a 100 B YCSB value) should pass ``size_bytes`` explicitly
+    to :meth:`Network.send` instead.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, dict):
+        return sum(estimate_payload_size(k) + estimate_payload_size(v)
+                   for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(estimate_payload_size(item) for item in payload)
+    return 32
+
+
+@dataclass
+class Message:
+    """A network message between two named nodes."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 0
+    msg_id: int = 0
+    send_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.msg_id == 0:
+            self.msg_id = next(_message_ids)
+        if self.size_bytes <= 0:
+            self.size_bytes = MESSAGE_HEADER_BYTES + estimate_payload_size(
+                self.payload)
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic statistics for one directed link."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, size_bytes: int) -> None:
+        self.messages += 1
+        self.bytes += size_bytes
+
+
+class Network:
+    """Delivers messages between registered nodes with WAN latencies."""
+
+    def __init__(self, scheduler: Scheduler, topology: Topology) -> None:
+        self.scheduler = scheduler
+        self.topology = topology
+        self._nodes: Dict[str, "Node"] = {}
+        self._links: Dict[Tuple[str, str], LinkStats] = {}
+        self._partitioned: set[frozenset] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- membership ------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        """Register a node; its name must be unique within the network."""
+        if node.name in self._nodes:
+            raise ValueError(f"node name already registered: {node.name}")
+        self._nodes[node.name] = node
+
+    def unregister(self, name: str) -> None:
+        self._nodes.pop(name, None)
+
+    def node(self, name: str) -> "Node":
+        return self._nodes[name]
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- fault injection ---------------------------------------------------
+    def partition(self, name_a: str, name_b: str) -> None:
+        """Drop all future messages between two nodes (both directions)."""
+        self._partitioned.add(frozenset({name_a, name_b}))
+
+    def heal(self, name_a: str, name_b: str) -> None:
+        """Remove a partition previously installed by :meth:`partition`."""
+        self._partitioned.discard(frozenset({name_a, name_b}))
+
+    def is_partitioned(self, name_a: str, name_b: str) -> bool:
+        return frozenset({name_a, name_b}) in self._partitioned
+
+    # -- traffic -----------------------------------------------------------
+    def send(self, src: str, dst: str, kind: str,
+             payload: Optional[Dict[str, Any]] = None,
+             size_bytes: Optional[int] = None,
+             extra_delay_ms: float = 0.0) -> Message:
+        """Send a message; returns the :class:`Message` (already accounted).
+
+        The message is charged to the link even if the destination is down or
+        partitioned away — bytes leave the sender's NIC regardless.
+        """
+        if src not in self._nodes:
+            raise KeyError(f"unknown source node: {src}")
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node: {dst}")
+        message = Message(src=src, dst=dst, kind=kind,
+                          payload=payload or {},
+                          size_bytes=size_bytes or 0,
+                          send_time=self.scheduler.now())
+        self.messages_sent += 1
+        self._link(src, dst).record(message.size_bytes)
+
+        if self.is_partitioned(src, dst) or not self._nodes[dst].alive:
+            self.messages_dropped += 1
+            return message
+
+        src_node = self._nodes[src]
+        dst_node = self._nodes[dst]
+        same_host = (src_node.host is not None
+                     and src_node.host == dst_node.host) or src == dst
+        delay = self.topology.one_way(src_node.region, dst_node.region,
+                                      same_host=same_host)
+        self.scheduler.schedule(delay + extra_delay_ms,
+                                self._deliver, message)
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None or not node.alive:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        node.handle_message(message)
+
+    # -- accounting --------------------------------------------------------
+    def _link(self, src: str, dst: str) -> LinkStats:
+        key = (src, dst)
+        if key not in self._links:
+            self._links[key] = LinkStats()
+        return self._links[key]
+
+    def link_stats(self, src: str, dst: str) -> LinkStats:
+        """Traffic on the directed link src→dst (zeros if never used)."""
+        return self._links.get((src, dst), LinkStats())
+
+    def bytes_between(self, name_a: str, name_b: str) -> int:
+        """Total bytes exchanged between two nodes, both directions."""
+        return (self.link_stats(name_a, name_b).bytes
+                + self.link_stats(name_b, name_a).bytes)
+
+    def bytes_touching(self, name: str) -> int:
+        """Total bytes on every link where ``name`` is an endpoint."""
+        total = 0
+        for (src, dst), stats in self._links.items():
+            if src == name or dst == name:
+                total += stats.bytes
+        return total
+
+    def total_bytes(self) -> int:
+        return sum(stats.bytes for stats in self._links.values())
+
+    def reset_stats(self) -> None:
+        """Clear byte counters (used to scope measurement windows)."""
+        self._links.clear()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0

@@ -1,0 +1,106 @@
+"""Simulated nodes and their processing queues.
+
+A :class:`Node` is a named endpoint in a region that receives messages from
+the :class:`~repro.sim.network.Network`.  Server nodes additionally own a
+:class:`ProcessingQueue`, a single-server FIFO that charges a service time to
+every piece of work.  Under light load the queue adds only the service time;
+as offered load approaches ``1 / service_time`` the queueing delay grows,
+which is what produces the latency-vs-throughput curves in Figures 6 and 11.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.network import Message, Network
+from repro.sim.scheduler import Scheduler
+
+
+class ProcessingQueue:
+    """Single-server FIFO work queue with deterministic service times."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        self._busy_until = 0.0
+        self.jobs_processed = 0
+        self.busy_time = 0.0
+
+    def submit(self, service_time_ms: float,
+               fn: Callable[..., Any], *args: Any, **kwargs: Any) -> float:
+        """Enqueue a job; ``fn`` runs when the server finishes it.
+
+        Returns:
+            The absolute simulated time at which the job will complete.
+        """
+        if service_time_ms < 0:
+            raise ValueError("service time must be non-negative")
+        now = self._scheduler.now()
+        start = max(now, self._busy_until)
+        finish = start + service_time_ms
+        self._busy_until = finish
+        self.jobs_processed += 1
+        self.busy_time += service_time_ms
+        self._scheduler.schedule_at(finish, fn, *args, **kwargs)
+        return finish
+
+    def queue_delay(self) -> float:
+        """Time a job submitted right now would wait before service begins."""
+        return max(0.0, self._busy_until - self._scheduler.now())
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of ``elapsed_ms`` the server spent busy."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed_ms)
+
+
+class Node:
+    """Base class for every simulated endpoint (replica, server, or client)."""
+
+    def __init__(self, name: str, region: str, network: Network,
+                 host: Optional[str] = None,
+                 service_time_ms: float = 0.0) -> None:
+        self.name = name
+        self.region = region
+        self.network = network
+        self.scheduler = network.scheduler
+        self.host = host if host is not None else name
+        self.alive = True
+        self.service_time_ms = service_time_ms
+        self.queue = ProcessingQueue(self.scheduler)
+        network.register(self)
+
+    # -- lifecycle ---------------------------------------------------------
+    def crash(self) -> None:
+        """Stop the node: in-flight messages to it are dropped."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    # -- messaging ---------------------------------------------------------
+    def send(self, dst: str, kind: str, payload: Optional[dict] = None,
+             size_bytes: Optional[int] = None) -> Message:
+        """Send a message to another node."""
+        return self.network.send(self.name, dst, kind, payload, size_bytes)
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch an incoming message to ``on_<kind>`` if defined."""
+        handler = getattr(self, f"on_{message.kind}", None)
+        if handler is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} ({self.name}) has no handler for "
+                f"message kind '{message.kind}'"
+            )
+        handler(message)
+
+    # -- local work --------------------------------------------------------
+    def process(self, fn: Callable[..., Any], *args: Any,
+                service_time_ms: Optional[float] = None,
+                **kwargs: Any) -> float:
+        """Run ``fn`` after this node's processing queue serves the job."""
+        cost = self.service_time_ms if service_time_ms is None else service_time_ms
+        return self.queue.submit(cost, fn, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, region={self.region!r})"

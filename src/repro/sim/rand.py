@@ -1,0 +1,24 @@
+"""Deterministic random-number plumbing.
+
+Every source of randomness in the simulator (latency jitter, workload key
+choice, dataset generation) draws from a ``random.Random`` instance derived
+from a single experiment seed and a component name.  Deriving through a hash
+keeps streams independent: adding a new consumer does not perturb the draws
+seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a child seed from a master ``seed`` and a component ``name``."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(seed: int, name: str) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically for ``name``."""
+    return random.Random(derive_seed(seed, name))

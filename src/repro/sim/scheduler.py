@@ -1,0 +1,141 @@
+"""Event scheduler: the heart of the discrete-event simulation.
+
+Events are callbacks ordered by (time, sequence-number).  The sequence number
+makes execution order deterministic for events scheduled at the same instant,
+which in turn makes every experiment in :mod:`repro.bench` reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Scheduler.schedule` so callers can
+    cancel pending work (e.g. a timeout that is no longer needed).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple, kwargs: dict) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class Scheduler:
+    """Discrete-event scheduler with a simulated :class:`Clock`."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_executed = 0
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events run so far (useful for runaway detection)."""
+        return self._events_executed
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now()
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> Event:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now() + delay, fn, *args, **kwargs)
+
+    def schedule_at(self, timestamp: float, fn: Callable[..., Any],
+                    *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``fn`` at an absolute simulated time."""
+        if timestamp < self.now():
+            raise ValueError(
+                f"cannot schedule in the past: {timestamp} < {self.now()}"
+            )
+        event = Event(timestamp, self._seq, fn, args, kwargs)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any,
+                  **kwargs: Any) -> Event:
+        """Schedule ``fn`` at the current instant (after pending same-time events)."""
+        return self.schedule(0.0, fn, *args, **kwargs)
+
+    def step(self) -> bool:
+        """Run the next pending event.
+
+        Returns:
+            True if an event was executed, False if the queue was empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_executed += 1
+            event.fn(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been executed.
+
+        ``until`` is an absolute simulated time; events scheduled strictly
+        after it remain queued and the clock stops at ``until``.
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self.clock.advance_to(until)
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            heapq.heappop(self._heap)
+            self.clock.advance_to(event.time)
+            self._events_executed += 1
+            executed += 1
+            event.fn(*event.args, **event.kwargs)
+        if until is not None and until > self.now():
+            self.clock.advance_to(until)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain.  Guards against runaway simulations."""
+        self.run(max_events=max_events)
+        if self._heap and self._events_executed >= max_events:
+            raise RuntimeError(
+                f"simulation did not converge after {max_events} events"
+            )

@@ -1,0 +1,44 @@
+"""YCSB-style workload generation and closed-loop load running.
+
+The paper drives its Cassandra experiments with YCSB workloads A (50:50
+read/update), B (95:5) and C (read-only), under Zipfian and Latest request
+distributions.  This package reimplements those workload semantics and a
+closed-loop runner that measures latency, throughput, divergence and
+bandwidth over a steady-state window.
+"""
+
+from repro.workloads.distributions import (
+    UniformKeyChooser,
+    ZipfianKeyChooser,
+    LatestKeyChooser,
+    ScrambledZipfianKeyChooser,
+    make_key_chooser,
+)
+from repro.workloads.records import Dataset, make_value
+from repro.workloads.ycsb import (
+    WorkloadSpec,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    workload_by_name,
+    OperationGenerator,
+)
+from repro.workloads.runner import ClosedLoopRunner, RunResult
+
+__all__ = [
+    "UniformKeyChooser",
+    "ZipfianKeyChooser",
+    "LatestKeyChooser",
+    "ScrambledZipfianKeyChooser",
+    "make_key_chooser",
+    "Dataset",
+    "make_value",
+    "WorkloadSpec",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "workload_by_name",
+    "OperationGenerator",
+    "ClosedLoopRunner",
+    "RunResult",
+]

@@ -1,0 +1,57 @@
+"""Dataset generation: YCSB-style records.
+
+YCSB stores records named ``user0 .. userN`` with fixed-size values; the
+divergence experiments use a deliberately small dataset (1 K records) so
+that read activity concentrates on a hot set.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, List
+
+_PRINTABLE = string.ascii_letters + string.digits
+
+
+def make_value(rng: random.Random, size_bytes: int = 100) -> str:
+    """A random printable string of ``size_bytes`` characters."""
+    if size_bytes <= 0:
+        raise ValueError("value size must be positive")
+    return "".join(rng.choice(_PRINTABLE) for _ in range(size_bytes))
+
+
+class Dataset:
+    """A named collection of YCSB records."""
+
+    def __init__(self, record_count: int = 1000, value_size_bytes: int = 100,
+                 key_prefix: str = "user", seed: int = 0) -> None:
+        if record_count <= 0:
+            raise ValueError("record_count must be positive")
+        self.record_count = record_count
+        self.value_size_bytes = value_size_bytes
+        self.key_prefix = key_prefix
+        self._rng = random.Random(seed)
+
+    def key(self, index: int) -> str:
+        """The key of record ``index``."""
+        if not 0 <= index < self.record_count:
+            raise IndexError(f"record index out of range: {index}")
+        return f"{self.key_prefix}{index}"
+
+    def keys(self) -> List[str]:
+        return [self.key(i) for i in range(self.record_count)]
+
+    def initial_value(self, index: int) -> str:
+        """A deterministic initial value for record ``index``."""
+        rng = random.Random((index + 1) * 2654435761)
+        return make_value(rng, self.value_size_bytes)
+
+    def initial_items(self) -> Dict[str, str]:
+        """Key → value mapping used to preload a cluster."""
+        return {self.key(i): self.initial_value(i)
+                for i in range(self.record_count)}
+
+    def random_value(self) -> str:
+        """A fresh value for an update operation."""
+        return make_value(self._rng, self.value_size_bytes)

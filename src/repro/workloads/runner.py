@@ -1,0 +1,166 @@
+"""Closed-loop load generation inside the simulation.
+
+The paper's load experiments (Figures 6, 7, 8 and 11) use YCSB client threads
+in a closed loop: each thread issues one operation, waits for it to complete,
+then immediately issues the next.  :class:`ClosedLoopRunner` reproduces that
+behaviour on simulated time, with warm-up and cool-down periods excluded from
+measurement (the paper elides the first and last 15 s of 60 s trials).
+
+The runner is system-agnostic: the experiment harness supplies an ``issue``
+function that executes one operation against whatever stack is under test and
+reports completion (with optional preliminary/final latencies and divergence
+information) through a ``done`` callback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.metrics.divergence import DivergenceCounter
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.scheduler import Scheduler
+from repro.workloads.ycsb import OperationGenerator
+
+#: ``issue(op_type, key, value, done)`` executes one operation and eventually
+#: calls ``done(info)`` where ``info`` may contain:
+#:   ``final_latency_ms``          overall completion latency,
+#:   ``preliminary_latency_ms``    latency of the preliminary view (if any),
+#:   ``diverged``                  True when preliminary != final,
+#:   ``had_preliminary``           False when no preliminary view arrived.
+IssueFunction = Callable[[str, str, Optional[str], Callable[[Dict[str, Any]], None]], None]
+
+
+@dataclass
+class RunResult:
+    """Aggregated metrics for one load-run configuration."""
+
+    label: str
+    duration_ms: float
+    measured_ops: int = 0
+    total_ops: int = 0
+    final_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    preliminary_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    update_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    divergence: DivergenceCounter = field(default_factory=DivergenceCounter)
+
+    def throughput_ops_per_sec(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.measured_ops / (self.duration_ms / 1000.0)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "throughput_ops_s": self.throughput_ops_per_sec(),
+            "final_mean_ms": self.final_latency.mean(),
+            "final_p99_ms": self.final_latency.p99(),
+            "preliminary_mean_ms": self.preliminary_latency.mean(),
+            "preliminary_p99_ms": self.preliminary_latency.p99(),
+            "divergence_pct": self.divergence.divergence_percent(),
+            "measured_ops": self.measured_ops,
+        }
+
+
+class _ClientThread:
+    """One closed-loop logical thread issuing operations back-to-back."""
+
+    def __init__(self, runner: "ClosedLoopRunner", thread_id: int,
+                 generator: OperationGenerator) -> None:
+        self.runner = runner
+        self.thread_id = thread_id
+        self.generator = generator
+
+    def start(self) -> None:
+        self._issue_next()
+
+    def _issue_next(self) -> None:
+        if self.runner.scheduler.now() >= self.runner.end_time:
+            return
+        op_type, key, value = self.generator.next_operation()
+        issued_at = self.runner.scheduler.now()
+
+        def _done(info: Dict[str, Any]) -> None:
+            self.runner.record_completion(op_type, issued_at, info)
+            think = self.runner.think_time_ms
+            if think > 0:
+                self.runner.scheduler.schedule(think, self._issue_next)
+            else:
+                self._issue_next()
+
+        self.runner.issue(op_type, key, value, _done)
+
+
+class ClosedLoopRunner:
+    """Runs N closed-loop client threads over simulated time and aggregates metrics."""
+
+    def __init__(self, scheduler: Scheduler, issue: IssueFunction,
+                 make_generator: Callable[[int], OperationGenerator],
+                 threads: int, duration_ms: float = 30_000.0,
+                 warmup_ms: float = 5_000.0, cooldown_ms: float = 5_000.0,
+                 think_time_ms: float = 0.0, label: str = "run") -> None:
+        if threads <= 0:
+            raise ValueError("need at least one client thread")
+        if duration_ms <= warmup_ms + cooldown_ms:
+            raise ValueError("duration must exceed warmup + cooldown")
+        self.scheduler = scheduler
+        self.issue = issue
+        self.threads = threads
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.cooldown_ms = cooldown_ms
+        self.think_time_ms = think_time_ms
+        self.label = label
+        self._threads = [
+            _ClientThread(self, i, make_generator(i)) for i in range(threads)
+        ]
+        self.start_time = 0.0
+        self.end_time = 0.0
+        self._measure_start = 0.0
+        self._measure_end = 0.0
+        self.result = RunResult(
+            label=label, duration_ms=duration_ms - warmup_ms - cooldown_ms)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Schedule all client threads; the caller then runs the scheduler."""
+        self.start_time = self.scheduler.now()
+        self.end_time = self.start_time + self.duration_ms
+        self._measure_start = self.start_time + self.warmup_ms
+        self._measure_end = self.end_time - self.cooldown_ms
+        for thread in self._threads:
+            # Start threads at slightly staggered instants so they do not all
+            # hit the coordinator in the same event tick.
+            self.scheduler.schedule(0.01 * thread.thread_id, thread.start)
+
+    def run(self) -> RunResult:
+        """Start the threads, run the simulation past the end, return metrics."""
+        self.start()
+        # Allow some slack after end_time so in-flight operations drain.
+        self.scheduler.run(until=self.end_time + 60_000.0)
+        return self.result
+
+    # -- recording -----------------------------------------------------------------
+    def record_completion(self, op_type: str, issued_at: float,
+                          info: Dict[str, Any]) -> None:
+        self.result.total_ops += 1
+        completed_at = self.scheduler.now()
+        if not (self._measure_start <= issued_at and
+                completed_at <= self._measure_end):
+            return
+        self.result.measured_ops += 1
+        final_latency = info.get("final_latency_ms",
+                                 completed_at - issued_at)
+        self.result.final_latency.record(final_latency)
+        if op_type == "read":
+            self.result.read_latency.record(final_latency)
+        else:
+            self.result.update_latency.record(final_latency)
+        if info.get("preliminary_latency_ms") is not None:
+            self.result.preliminary_latency.record(info["preliminary_latency_ms"])
+        if "diverged" in info:
+            self.result.divergence.record_outcome(
+                bool(info["diverged"]),
+                had_preliminary=info.get("had_preliminary", True))

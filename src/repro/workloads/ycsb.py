@@ -1,0 +1,81 @@
+"""YCSB core workloads A, B and C.
+
+A workload is an operation mix (read vs update proportions) plus a request
+distribution.  :class:`OperationGenerator` turns a workload specification and
+a dataset into an endless stream of ``("read" | "update", key, value)``
+operations, which the closed-loop runner feeds to the system under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.workloads.distributions import make_key_chooser
+from repro.workloads.records import Dataset
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """An operation mix in the style of the YCSB core workloads."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    request_distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read_proportion + self.update_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"proportions must sum to 1.0, got {total} for {self.name}")
+
+    def with_distribution(self, distribution: str) -> "WorkloadSpec":
+        """The same mix under a different request distribution."""
+        return WorkloadSpec(name=self.name,
+                            read_proportion=self.read_proportion,
+                            update_proportion=self.update_proportion,
+                            request_distribution=distribution)
+
+
+#: Workload A — update heavy (50:50 read/update), e.g. a session store.
+WORKLOAD_A = WorkloadSpec("A", read_proportion=0.5, update_proportion=0.5)
+#: Workload B — read mostly (95:5), e.g. photo tagging.
+WORKLOAD_B = WorkloadSpec("B", read_proportion=0.95, update_proportion=0.05)
+#: Workload C — read only, e.g. a user-profile cache.
+WORKLOAD_C = WorkloadSpec("C", read_proportion=1.0, update_proportion=0.0)
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up one of the core workloads by its letter."""
+    mapping = {"A": WORKLOAD_A, "B": WORKLOAD_B, "C": WORKLOAD_C}
+    try:
+        return mapping[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown YCSB workload: {name!r}") from None
+
+
+class OperationGenerator:
+    """Draws operations according to a workload spec over a dataset."""
+
+    def __init__(self, spec: WorkloadSpec, dataset: Dataset,
+                 rng: random.Random) -> None:
+        self.spec = spec
+        self.dataset = dataset
+        self._rng = rng
+        self._chooser = make_key_chooser(spec.request_distribution,
+                                         dataset.record_count, rng)
+        self.reads_generated = 0
+        self.updates_generated = 0
+
+    def next_operation(self) -> Tuple[str, str, Optional[str]]:
+        """Return ``(op_type, key, value)``; value is None for reads."""
+        index = self._chooser.next_index()
+        key = self.dataset.key(index)
+        if self._rng.random() < self.spec.read_proportion:
+            self.reads_generated += 1
+            return "read", key, None
+        self.updates_generated += 1
+        self._chooser.notify_insert(index)
+        return "update", key, self.dataset.random_value()

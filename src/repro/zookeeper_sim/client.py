@@ -1,0 +1,130 @@
+"""Client node for the simulated ZooKeeper ensemble.
+
+Offers the low-level znode operations (``create``, ``delete``, ``get``,
+``get_children``) plus the queue-oriented operations used by Correctable
+ZooKeeper (``enqueue``, ``dequeue``).  Every operation takes callbacks; an
+operation submitted with ``icg=True`` receives a preliminary callback from
+the contacted server's local simulation before the final (Zab-committed)
+result arrives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network
+from repro.sim.node import Node
+from repro.zookeeper_sim.config import ZooKeeperConfig
+
+#: ``callback(response_dict)`` with keys ok/result/error/latency_ms.
+ResponseCallback = Callable[[Dict[str, Any]], None]
+
+
+@dataclass
+class _PendingRequest:
+    op: str
+    sent_at: float
+    on_preliminary: Optional[ResponseCallback] = None
+    on_final: Optional[ResponseCallback] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class ZKClient(Node):
+    """A client connected to one server of the ensemble."""
+
+    def __init__(self, name: str, region: str, network: Network,
+                 server: str, config: ZooKeeperConfig,
+                 host: Optional[str] = None) -> None:
+        super().__init__(name, region, network, host=host)
+        self.server = server
+        self.config = config
+        self._req_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingRequest] = {}
+        self.requests_sent = 0
+
+    # -- generic request plumbing -------------------------------------------
+    def submit(self, op: str, path: str, data: Any = None,
+               sequential: bool = False, icg: bool = False,
+               on_preliminary: Optional[ResponseCallback] = None,
+               on_final: Optional[ResponseCallback] = None,
+               request_size: Optional[int] = None) -> int:
+        """Send one operation to the connected server; returns the request id."""
+        req_id = next(self._req_ids)
+        self.requests_sent += 1
+        self._pending[req_id] = _PendingRequest(
+            op=op, sent_at=self.scheduler.now(),
+            on_preliminary=on_preliminary, on_final=on_final)
+        if request_size is None:
+            request_size = (MESSAGE_HEADER_BYTES + self.config.path_size_bytes
+                            + (self.config.element_size_bytes if data is not None
+                               else 0))
+        self.send(self.server, "zk_request",
+                  {"req_id": req_id, "op": op, "path": path, "data": data,
+                   "sequential": sequential, "icg": icg},
+                  size_bytes=request_size)
+        return req_id
+
+    # -- convenience wrappers ---------------------------------------------------
+    def create(self, path: str, data: Any = None, sequential: bool = False,
+               icg: bool = False,
+               on_preliminary: Optional[ResponseCallback] = None,
+               on_final: Optional[ResponseCallback] = None) -> int:
+        return self.submit("create", path, data=data, sequential=sequential,
+                           icg=icg, on_preliminary=on_preliminary,
+                           on_final=on_final)
+
+    def delete(self, path: str,
+               on_final: Optional[ResponseCallback] = None) -> int:
+        return self.submit("delete", path, on_final=on_final)
+
+    def get(self, path: str,
+            on_final: Optional[ResponseCallback] = None) -> int:
+        return self.submit("get", path, on_final=on_final)
+
+    def get_children(self, path: str,
+                     on_final: Optional[ResponseCallback] = None) -> int:
+        return self.submit("get_children", path, on_final=on_final)
+
+    def enqueue(self, queue_path: str, item: Any, icg: bool = False,
+                on_preliminary: Optional[ResponseCallback] = None,
+                on_final: Optional[ResponseCallback] = None) -> int:
+        """Append ``item`` to the queue (a sequential create under the queue)."""
+        return self.submit("enqueue", queue_path, data=item, icg=icg,
+                           on_preliminary=on_preliminary, on_final=on_final)
+
+    def dequeue(self, queue_path: str, icg: bool = False,
+                on_preliminary: Optional[ResponseCallback] = None,
+                on_final: Optional[ResponseCallback] = None) -> int:
+        """Atomically remove the queue head (server-side, constant-size messages)."""
+        return self.submit("dequeue", queue_path, icg=icg,
+                           on_preliminary=on_preliminary, on_final=on_final)
+
+    # -- responses ------------------------------------------------------------------
+    def on_zk_preliminary(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.get(payload["req_id"])
+        if pending is None or pending.on_preliminary is None:
+            return
+        pending.on_preliminary({
+            "ok": payload["ok"],
+            "result": payload["result"],
+            "error": None,
+            "latency_ms": self.scheduler.now() - pending.sent_at,
+            "preliminary": True,
+        })
+
+    def on_zk_response(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.pop(payload["req_id"], None)
+        if pending is None:
+            return
+        if pending.on_final is not None:
+            pending.on_final({
+                "ok": payload["ok"],
+                "result": payload.get("result"),
+                "error": payload.get("error"),
+                "latency_ms": self.scheduler.now() - pending.sent_at,
+                "preliminary": False,
+            })

@@ -1,0 +1,34 @@
+"""Configuration knobs for the simulated ZooKeeper ensemble."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ZooKeeperConfig:
+    """Ensemble-wide configuration.
+
+    Service times are small because ZooKeeper operations are cheap; the
+    latency the paper measures is dominated by the WAN round trips of the
+    Zab commit path.
+    """
+
+    #: CPU time a server spends handling one client request (ms).
+    request_service_ms: float = 0.4
+    #: CPU time the leader spends per proposal (ms).
+    proposal_service_ms: float = 0.3
+    #: CPU time a follower spends acking / applying a proposal (ms).
+    apply_service_ms: float = 0.3
+    #: Extra CPU time for the CZK local simulation fast path (ms).
+    simulation_service_ms: float = 0.2
+    #: Size of a queue element payload on the wire (bytes); the paper uses
+    #: identifiers of up to 20 B (e.g. ticket numbers).
+    element_size_bytes: int = 20
+    #: Size of one znode name in a getChildren response (bytes),
+    #: e.g. ``"item-0000000042"``.
+    child_name_bytes: int = 16
+    #: Size of a znode path on the wire (bytes).
+    path_size_bytes: int = 24
+    #: Small response / acknowledgement body size (bytes).
+    ack_bytes: int = 10

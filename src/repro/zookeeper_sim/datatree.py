@@ -1,0 +1,111 @@
+"""The znode data tree.
+
+A simplified version of ZooKeeper's hierarchical namespace: znodes store a
+data blob and children; ``create`` supports the *sequential* flag that
+appends a zero-padded, monotonically increasing counter to the requested
+name — the primitive the distributed-queue recipe is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class NoNodeError(KeyError):
+    """Raised when an operation targets a znode that does not exist."""
+
+
+class NodeExistsError(ValueError):
+    """Raised when creating a znode that already exists (non-sequential)."""
+
+
+class Znode:
+    """One node in the tree."""
+
+    __slots__ = ("name", "data", "children", "next_sequence", "version")
+
+    def __init__(self, name: str, data: Any = None) -> None:
+        self.name = name
+        self.data = data
+        self.children: Dict[str, "Znode"] = {}
+        self.next_sequence = 0
+        self.version = 0
+
+
+class DataTree:
+    """A hierarchical namespace of znodes rooted at ``/``."""
+
+    def __init__(self) -> None:
+        self._root = Znode("/")
+
+    # -- path helpers ------------------------------------------------------
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise ValueError(f"paths must be absolute, got {path!r}")
+        return [part for part in path.split("/") if part]
+
+    def _lookup(self, path: str) -> Znode:
+        node = self._root
+        for part in self._split(path):
+            if part not in node.children:
+                raise NoNodeError(path)
+            node = node.children[part]
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path)
+            return True
+        except NoNodeError:
+            return False
+
+    # -- operations ----------------------------------------------------------
+    def create(self, path: str, data: Any = None,
+               sequential: bool = False) -> str:
+        """Create a znode; returns the actual path (with sequence suffix)."""
+        parts = self._split(path)
+        if not parts:
+            raise ValueError("cannot create the root znode")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent = self._lookup(parent_path) if parts[:-1] else self._root
+        name = parts[-1]
+        if sequential:
+            name = f"{name}{parent.next_sequence:010d}"
+            parent.next_sequence += 1
+        if name in parent.children:
+            raise NodeExistsError(f"{parent_path.rstrip('/')}/{name}")
+        parent.children[name] = Znode(name, data)
+        parent.version += 1
+        created = (parent_path.rstrip("/") or "") + "/" + name
+        return created
+
+    def delete(self, path: str) -> None:
+        """Delete a leaf znode (children must be removed first)."""
+        parts = self._split(path)
+        if not parts:
+            raise ValueError("cannot delete the root znode")
+        parent = self._lookup("/" + "/".join(parts[:-1])) if parts[:-1] else self._root
+        name = parts[-1]
+        if name not in parent.children:
+            raise NoNodeError(path)
+        if parent.children[name].children:
+            raise ValueError(f"znode {path!r} has children")
+        del parent.children[name]
+        parent.version += 1
+
+    def get(self, path: str) -> Any:
+        """Return the data stored at ``path``."""
+        return self._lookup(path).data
+
+    def set(self, path: str, data: Any) -> None:
+        node = self._lookup(path)
+        node.data = data
+        node.version += 1
+
+    def get_children(self, path: str) -> List[str]:
+        """Sorted child names of ``path`` (sorted order drives queue FIFO)."""
+        return sorted(self._lookup(path).children.keys())
+
+    def child_count(self, path: str) -> int:
+        return len(self._lookup(path).children)

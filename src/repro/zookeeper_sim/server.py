@@ -1,0 +1,344 @@
+"""ZooKeeper server node: leader or follower.
+
+Request flow for a write transaction (create / delete / set / dequeue):
+
+1. a client sends ``zk_request`` to the server it is connected to;
+2. if the server is a follower it forwards the request to the leader
+   (``zk_forward``); the leader assigns a zxid and broadcasts
+   ``zab_proposal``;
+3. followers acknowledge with ``zab_ack``; when a majority (leader included)
+   acked, the leader sends ``zab_commit`` to all and applies the transaction;
+4. every server applies committed transactions in zxid order; the server
+   that originally received the client request (the *origin*) computes the
+   result of the application locally and replies with ``zk_response``.
+
+Reads (``get``, ``get_children``) are served from the contacted server's
+local tree without coordination, exactly as in ZooKeeper.
+
+Correctable ZooKeeper (CZK) fast path: a request flagged ``icg`` is first
+*simulated* on the contacted server's local state; the simulated result is
+returned immediately as ``zk_preliminary`` before the transaction enters Zab.
+Simulations of concurrent requests on the same server observe each other's
+tentative effects (e.g. two retailers simulating a dequeue obtain different
+tickets), mirroring what applying the operations to a copy of the local
+state would do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network
+from repro.sim.node import Node
+from repro.zookeeper_sim.config import ZooKeeperConfig
+from repro.zookeeper_sim.datatree import DataTree, NoNodeError, NodeExistsError
+from repro.zookeeper_sim.zab import CommitLog, ProposalTracker, Transaction
+
+#: Operation types that mutate state and therefore go through Zab.
+WRITE_OPS = {"create", "delete", "set", "enqueue", "dequeue"}
+#: Operation types served locally by the contacted server.
+READ_OPS = {"get", "get_children", "exists"}
+
+
+class ZKServer(Node):
+    """One member of the ensemble (leader or follower)."""
+
+    def __init__(self, name: str, region: str, network: Network,
+                 config: ZooKeeperConfig) -> None:
+        super().__init__(name, region, network)
+        self.config = config
+        self.tree = DataTree()
+        self.is_leader = False
+        self.leader_name: Optional[str] = None
+        self.ensemble: List[str] = []
+        self.tracker: Optional[ProposalTracker] = None
+        self.commit_log = CommitLog()
+        # origin bookkeeping: zxid -> (client, request_id) for requests this
+        # server received (it must answer them after applying the commit).
+        self._origin_requests: Dict[int, Dict[str, Any]] = {}
+        # follower-side: requests forwarded to the leader awaiting a zxid,
+        # keyed by a server-local forward id (client req_ids may collide
+        # across clients).
+        self._forwarded: Dict[int, Dict[str, Any]] = {}
+        self._next_forward_id = 1
+        # CZK simulation overlay (tentative effects of in-flight operations).
+        self._simulated_removed: Set[str] = set()
+        self._simulated_created: Dict[str, int] = {}
+        # Instrumentation.
+        self.preliminaries_sent = 0
+        self.transactions_applied = 0
+        self.reads_served = 0
+
+    # -- ensemble wiring ----------------------------------------------------
+    def become_leader(self, ensemble: List[str]) -> None:
+        self.is_leader = True
+        self.leader_name = self.name
+        self.ensemble = list(ensemble)
+        self.tracker = ProposalTracker(len(ensemble))
+
+    def become_follower(self, leader_name: str, ensemble: List[str]) -> None:
+        self.is_leader = False
+        self.leader_name = leader_name
+        self.ensemble = list(ensemble)
+
+    def _followers(self) -> List[str]:
+        return [name for name in self.ensemble if name != self.name]
+
+    # -- client requests -------------------------------------------------------
+    def on_zk_request(self, message: Message) -> None:
+        payload = message.payload
+        self.process(self._handle_request, message.src, payload,
+                     service_time_ms=self.config.request_service_ms)
+
+    def _handle_request(self, client: str, payload: Dict[str, Any]) -> None:
+        op = payload["op"]
+        if op in READ_OPS:
+            self._serve_read(client, payload)
+            return
+        if op not in WRITE_OPS:
+            self._respond(client, payload["req_id"], ok=False,
+                          error=f"unknown operation {op!r}")
+            return
+        if payload.get("icg"):
+            self.process(self._send_preliminary, client, payload,
+                         service_time_ms=self.config.simulation_service_ms)
+        self._submit_write(client, payload)
+
+    # -- local reads --------------------------------------------------------------
+    def _serve_read(self, client: str, payload: Dict[str, Any]) -> None:
+        self.reads_served += 1
+        op = payload["op"]
+        path = payload["path"]
+        try:
+            if op == "get":
+                result = self.tree.get(path)
+                size = (MESSAGE_HEADER_BYTES + self.config.ack_bytes
+                        + self.config.element_size_bytes)
+            elif op == "exists":
+                result = self.tree.exists(path)
+                size = MESSAGE_HEADER_BYTES + self.config.ack_bytes
+            else:  # get_children
+                result = self.tree.get_children(path)
+                size = (MESSAGE_HEADER_BYTES + self.config.ack_bytes
+                        + len(result) * self.config.child_name_bytes)
+        except NoNodeError as exc:
+            self._respond(client, payload["req_id"], ok=False,
+                          error=f"NoNode: {exc}")
+            return
+        self._respond(client, payload["req_id"], ok=True, result=result,
+                      size_bytes=size)
+
+    # -- CZK preliminary (local simulation) -------------------------------------------
+    def _send_preliminary(self, client: str, payload: Dict[str, Any]) -> None:
+        result = self._simulate(payload)
+        self.preliminaries_sent += 1
+        self.send(client, "zk_preliminary",
+                  {"req_id": payload["req_id"], "ok": True, "result": result},
+                  size_bytes=(MESSAGE_HEADER_BYTES + self.config.ack_bytes
+                              + self.config.element_size_bytes))
+
+    def _simulate(self, payload: Dict[str, Any]) -> Any:
+        """Apply the operation to the local state *tentatively*."""
+        op = payload["op"]
+        path = payload["path"]
+        if op == "enqueue" or (op == "create" and payload.get("sequential")):
+            queue_path = path if op == "enqueue" else path.rsplit("/", 1)[0]
+            try:
+                existing = self.tree.child_count(queue_path)
+            except NoNodeError:
+                existing = 0
+            offset = self._simulated_created.get(queue_path, 0)
+            self._simulated_created[queue_path] = offset + 1
+            position = existing + offset
+            return {"name": f"item-{position:010d}", "position": position}
+        if op == "dequeue":
+            try:
+                children = self.tree.get_children(path)
+            except NoNodeError:
+                children = []
+            available = [c for c in children
+                         if f"{path}/{c}" not in self._simulated_removed]
+            if not available:
+                return {"item": None, "name": None, "remaining": 0}
+            head = available[0]
+            self._simulated_removed.add(f"{path}/{head}")
+            return {"item": self.tree.get(f"{path}/{head}"),
+                    "name": head,
+                    "remaining": len(available) - 1}
+        if op == "delete":
+            self._simulated_removed.add(path)
+            return {"deleted": path}
+        if op in ("create", "set"):
+            return {"path": path}
+        return None
+
+    # -- write path ----------------------------------------------------------------------
+    def _submit_write(self, client: str, payload: Dict[str, Any]) -> None:
+        request = {"client": client, "payload": payload}
+        if self.is_leader:
+            self._propose(origin_server=self.name, request=request)
+        else:
+            forward_id = self._next_forward_id
+            self._next_forward_id += 1
+            forwarded_payload = dict(payload)
+            forwarded_payload["req_id"] = forward_id
+            self.send(self.leader_name, "zk_forward",
+                      {"origin": self.name, "payload": forwarded_payload},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.path_size_bytes
+                                  + self.config.element_size_bytes))
+            self._forwarded[forward_id] = request
+
+    def on_zk_forward(self, message: Message) -> None:
+        payload = message.payload
+        self.process(self._propose, payload["origin"],
+                     {"client": None, "payload": payload["payload"]},
+                     service_time_ms=self.config.proposal_service_ms)
+
+    def _propose(self, origin_server: str, request: Dict[str, Any]) -> None:
+        assert self.is_leader and self.tracker is not None
+        payload = request["payload"]
+        txn = Transaction(
+            zxid=self.tracker.next_zxid(),
+            op="create" if payload["op"] == "enqueue" else payload["op"],
+            path=(payload["path"] + "/item-" if payload["op"] == "enqueue"
+                  else payload["path"]),
+            data=payload.get("data"),
+            sequential=(payload["op"] == "enqueue"
+                        or bool(payload.get("sequential"))),
+            origin_server=origin_server,
+            origin_request=payload["req_id"],
+        )
+        self.tracker.track(txn)
+        self.commit_log.learn(txn)
+        if origin_server == self.name and request["client"] is not None:
+            self._origin_requests[txn.zxid] = {
+                "client": request["client"], "req_id": payload["req_id"],
+                "op": payload["op"],
+            }
+        proposal_payload = self._txn_payload(txn)
+        for follower in self._followers():
+            self.send(follower, "zab_proposal", proposal_payload,
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.path_size_bytes
+                                  + self.config.element_size_bytes))
+        # The leader acknowledges its own proposal.
+        if self.tracker.record_ack(txn.zxid, self.name):
+            self._commit(txn.zxid)
+
+    @staticmethod
+    def _txn_payload(txn: Transaction) -> Dict[str, Any]:
+        return {"zxid": txn.zxid, "op": txn.op, "path": txn.path,
+                "data": txn.data, "sequential": txn.sequential,
+                "origin_server": txn.origin_server,
+                "origin_request": txn.origin_request}
+
+    @staticmethod
+    def _txn_from_payload(payload: Dict[str, Any]) -> Transaction:
+        return Transaction(zxid=payload["zxid"], op=payload["op"],
+                           path=payload["path"], data=payload["data"],
+                           sequential=payload["sequential"],
+                           origin_server=payload["origin_server"],
+                           origin_request=payload["origin_request"])
+
+    def on_zab_proposal(self, message: Message) -> None:
+        payload = message.payload
+        self.process(self._ack_proposal, payload,
+                     service_time_ms=self.config.apply_service_ms)
+
+    def _ack_proposal(self, payload: Dict[str, Any]) -> None:
+        txn = self._txn_from_payload(payload)
+        self.commit_log.learn(txn)
+        # A follower that originated this request must answer its client once
+        # the commit applies locally.
+        if txn.origin_server == self.name:
+            forwarded = self._forwarded.pop(txn.origin_request, None)
+            if forwarded is not None:
+                self._origin_requests[txn.zxid] = {
+                    "client": forwarded["client"],
+                    "req_id": forwarded["payload"]["req_id"],
+                    "op": forwarded["payload"]["op"],
+                }
+        self.send(self.leader_name, "zab_ack",
+                  {"zxid": txn.zxid, "server": self.name},
+                  size_bytes=MESSAGE_HEADER_BYTES + self.config.ack_bytes)
+
+    def on_zab_ack(self, message: Message) -> None:
+        payload = message.payload
+        assert self.is_leader and self.tracker is not None
+        if self.tracker.record_ack(payload["zxid"], payload["server"]):
+            self._commit(payload["zxid"])
+
+    def _commit(self, zxid: int) -> None:
+        assert self.is_leader and self.tracker is not None
+        for follower in self._followers():
+            self.send(follower, "zab_commit", {"zxid": zxid},
+                      size_bytes=MESSAGE_HEADER_BYTES + self.config.ack_bytes)
+        self._learn_commit(zxid)
+
+    def on_zab_commit(self, message: Message) -> None:
+        self.process(self._learn_commit, message.payload["zxid"],
+                     service_time_ms=self.config.apply_service_ms)
+
+    def _learn_commit(self, zxid: int) -> None:
+        self.commit_log.mark_committed(zxid)
+        for txn in self.commit_log.ready_transactions():
+            result = self._apply(txn)
+            self.transactions_applied += 1
+            origin = self._origin_requests.pop(txn.zxid, None)
+            if origin is not None:
+                self._respond(origin["client"], origin["req_id"],
+                              ok=result.get("ok", True),
+                              result=result.get("result"),
+                              error=result.get("error"))
+
+    # -- applying transactions -------------------------------------------------------------
+    def _apply(self, txn: Transaction) -> Dict[str, Any]:
+        try:
+            if txn.op == "create":
+                created = self.tree.create(txn.path, txn.data,
+                                           sequential=txn.sequential)
+                parent_path = txn.path.rsplit("/", 1)[0]
+                pending = self._simulated_created.get(parent_path, 0)
+                if pending > 0:
+                    self._simulated_created[parent_path] = pending - 1
+                parent = txn.path.rsplit("/", 1)[0] or "/"
+                position = self.tree.child_count(parent) - 1
+                return {"ok": True,
+                        "result": {"path": created,
+                                   "name": created.rsplit("/", 1)[1],
+                                   "position": position}}
+            if txn.op == "delete":
+                self.tree.delete(txn.path)
+                self._simulated_removed.discard(txn.path)
+                return {"ok": True, "result": {"deleted": txn.path}}
+            if txn.op == "set":
+                self.tree.set(txn.path, txn.data)
+                return {"ok": True, "result": {"path": txn.path}}
+            if txn.op == "dequeue":
+                children = self.tree.get_children(txn.path)
+                if not children:
+                    return {"ok": True,
+                            "result": {"item": None, "name": None,
+                                       "remaining": 0}}
+                head = children[0]
+                data = self.tree.get(f"{txn.path}/{head}")
+                self.tree.delete(f"{txn.path}/{head}")
+                self._simulated_removed.discard(f"{txn.path}/{head}")
+                return {"ok": True,
+                        "result": {"item": data, "name": head,
+                                   "remaining": len(children) - 1}}
+            return {"ok": False, "error": f"unknown txn op {txn.op!r}"}
+        except (NoNodeError, NodeExistsError, ValueError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- responses ------------------------------------------------------------------------------
+    def _respond(self, client: str, req_id: int, ok: bool,
+                 result: Any = None, error: Optional[str] = None,
+                 size_bytes: Optional[int] = None) -> None:
+        if size_bytes is None:
+            size_bytes = (MESSAGE_HEADER_BYTES + self.config.ack_bytes
+                          + self.config.element_size_bytes)
+        self.send(client, "zk_response",
+                  {"req_id": req_id, "ok": ok, "result": result, "error": error},
+                  size_bytes=size_bytes)

@@ -1,0 +1,113 @@
+"""Zab-style atomic broadcast bookkeeping.
+
+The leader assigns a monotonically increasing ``zxid`` to every write
+transaction, broadcasts a proposal, collects acknowledgements, and commits
+once a majority (including itself) has acknowledged.  Every server applies
+committed transactions in strict zxid order, which is what gives the
+replicated queue its total order.
+
+This module holds the pure data structures; the message handling lives in
+:mod:`repro.zookeeper_sim.server`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A state-mutating operation to be applied through Zab."""
+
+    zxid: int
+    op: str                      # "create" | "delete" | "set" | "dequeue"
+    path: str
+    data: Any = None
+    sequential: bool = False
+    #: Server that received the client request (it answers the client).
+    origin_server: str = ""
+    #: Client-visible request id at the origin server.
+    origin_request: int = 0
+
+
+@dataclass
+class _Proposal:
+    txn: Transaction
+    acks: Set[str] = field(default_factory=set)
+    committed: bool = False
+
+
+class ProposalTracker:
+    """Leader-side record of outstanding proposals."""
+
+    def __init__(self, ensemble_size: int) -> None:
+        if ensemble_size < 1:
+            raise ValueError("ensemble must have at least one server")
+        self.ensemble_size = ensemble_size
+        self._next_zxid = 1
+        self._proposals: Dict[int, _Proposal] = {}
+
+    @property
+    def quorum_size(self) -> int:
+        return self.ensemble_size // 2 + 1
+
+    def next_zxid(self) -> int:
+        zxid = self._next_zxid
+        self._next_zxid += 1
+        return zxid
+
+    def track(self, txn: Transaction) -> None:
+        if txn.zxid in self._proposals:
+            raise ValueError(f"zxid {txn.zxid} already tracked")
+        self._proposals[txn.zxid] = _Proposal(txn=txn)
+
+    def record_ack(self, zxid: int, server: str) -> bool:
+        """Record an ack; returns True when the proposal just reached quorum."""
+        proposal = self._proposals.get(zxid)
+        if proposal is None or proposal.committed:
+            return False
+        proposal.acks.add(server)
+        if len(proposal.acks) >= self.quorum_size:
+            proposal.committed = True
+            return True
+        return False
+
+    def transaction(self, zxid: int) -> Optional[Transaction]:
+        proposal = self._proposals.get(zxid)
+        return proposal.txn if proposal is not None else None
+
+    def pending_count(self) -> int:
+        return sum(1 for p in self._proposals.values() if not p.committed)
+
+    def forget(self, zxid: int) -> None:
+        self._proposals.pop(zxid, None)
+
+
+class CommitLog:
+    """Per-server buffer applying committed transactions in zxid order."""
+
+    def __init__(self) -> None:
+        self._known: Dict[int, Transaction] = {}
+        self._committed: Set[int] = set()
+        self.last_applied = 0
+
+    def learn(self, txn: Transaction) -> None:
+        """Record a proposal's contents (from the leader's proposal message)."""
+        self._known[txn.zxid] = txn
+
+    def mark_committed(self, zxid: int) -> None:
+        self._committed.add(zxid)
+
+    def ready_transactions(self) -> List[Transaction]:
+        """Pop every transaction that can now be applied, in zxid order."""
+        ready: List[Transaction] = []
+        while True:
+            next_zxid = self.last_applied + 1
+            if next_zxid in self._committed and next_zxid in self._known:
+                ready.append(self._known.pop(next_zxid))
+                self._committed.discard(next_zxid)
+                self.last_applied = next_zxid
+            else:
+                break
+        return ready

@@ -1,0 +1,155 @@
+"""Tests for the ad-serving and Twissandra case-study applications.
+
+These run against the in-memory LocalBinding (fast, no cluster) to check the
+application logic — speculation wiring, misspeculation handling, updates —
+and against the simulated Cassandra cluster in the integration tests.
+"""
+
+import pytest
+
+from repro.apps.ads import AdServingSystem
+from repro.apps.datasets import AdsDataset, TwissandraDataset
+from repro.apps.twissandra import Twissandra
+from repro.bindings.local import LocalBinding
+from repro.core.client import CorrectableClient
+from repro.sim.scheduler import Scheduler
+
+
+def _ads_app(scheduler=None, stale_probability=0.0):
+    dataset = AdsDataset(profile_count=20, ad_count=50, max_ads_per_profile=5,
+                         seed=1)
+    binding = LocalBinding(scheduler=scheduler, weak_delay_ms=2,
+                           strong_delay_ms=40,
+                           stale_probability=stale_probability)
+    for key, value in dataset.initial_items().items():
+        binding.store.put(key, value)
+    app = AdServingSystem(CorrectableClient(binding), dataset)
+    return app, binding, dataset
+
+
+def _twissandra_app(scheduler=None):
+    dataset = TwissandraDataset(user_count=20, tweet_count=60, seed=1)
+    binding = LocalBinding(scheduler=scheduler, weak_delay_ms=2,
+                           strong_delay_ms=40)
+    for key, value in dataset.initial_items().items():
+        binding.store.put(key, value)
+    app = Twissandra(CorrectableClient(binding), dataset)
+    return app, binding, dataset
+
+
+class TestAdServing:
+    def test_fetch_returns_post_processed_ads(self):
+        app, binding, dataset = _ads_app()
+        results = []
+        app.fetch_ads_by_user_id("profile:0", results.append)
+        ads = results[0]["ads"]
+        refs = dataset.ad_refs("profile:0")
+        assert len(ads) == len(refs)
+        assert all(ad.startswith("<ad>") for ad in ads)
+        assert results[0]["speculation_confirmed"]
+
+    def test_fetch_without_speculation(self):
+        app, _, dataset = _ads_app()
+        results = []
+        app.fetch_ads_by_user_id("profile:1", results.append, speculate=False)
+        assert len(results[0]["ads"]) == len(dataset.ad_refs("profile:1"))
+        assert app.speculation_stats.speculations_started == 0
+
+    def test_misspeculation_detected_and_resolved(self):
+        scheduler = Scheduler()
+        app, binding, dataset = _ads_app(scheduler=scheduler)
+        # Change the profile under the reader's feet: the weak view (old refs)
+        # will differ from the strong view (new refs).
+        new_refs = ["ad:1", "ad:2"]
+        results = []
+        app.fetch_ads_by_user_id("profile:2", results.append)
+        scheduler.schedule(10, binding.store.put, "profile:2", new_refs)
+        scheduler.run_until_idle()
+        assert len(results[0]["ads"]) == 2
+        assert not results[0]["speculation_confirmed"]
+        assert app.speculation_stats.misspeculations == 1
+
+    def test_speculation_latency_benefit(self):
+        """With ICG the prefetch overlaps the strong read of the references."""
+        latencies = {}
+        for speculate in (True, False):
+            scheduler = Scheduler()
+            app, _, _ = _ads_app(scheduler=scheduler)
+            results = []
+            app.fetch_ads_by_user_id("profile:3", results.append,
+                                     speculate=speculate)
+            scheduler.run_until_idle()
+            latencies[speculate] = results[0]["latency_ms"]
+        assert latencies[True] < latencies[False]
+
+    def test_update_profile_changes_refs(self):
+        app, binding, _ = _ads_app()
+        done = []
+        app.update_profile("profile:4", done.append)
+        assert done and binding.store.get("profile:4") == done[0]["refs"]
+
+    def test_operation_counter(self):
+        app, _, _ = _ads_app()
+        app.fetch_ads_by_user_id("profile:0", lambda info: None)
+        app.fetch_ads_by_user_id("profile:1", lambda info: None)
+        assert app.operations == 2
+
+    def test_empty_reference_list(self):
+        app, binding, _ = _ads_app()
+        binding.store.put("profile:5", [])
+        results = []
+        app.fetch_ads_by_user_id("profile:5", results.append)
+        assert results[0]["ads"] == []
+
+
+class TestTwissandra:
+    def test_get_timeline_fetches_tweet_bodies(self):
+        app, _, dataset = _twissandra_app()
+        results = []
+        app.get_timeline("timeline:0", results.append)
+        timeline = dataset.timeline("timeline:0")
+        assert len(results[0]["tweets"]) == len(timeline)
+        assert results[0]["tweets"][0] == dataset.tweet_body(timeline[0])
+
+    def test_get_timeline_baseline_matches_speculative_content(self):
+        app, _, _ = _twissandra_app()
+        speculative, baseline = [], []
+        app.get_timeline("timeline:1", speculative.append, speculate=True)
+        app.get_timeline("timeline:1", baseline.append, speculate=False)
+        assert speculative[0]["tweets"] == baseline[0]["tweets"]
+
+    def test_post_tweet_prepends_to_timeline(self):
+        scheduler = Scheduler()
+        app, binding, _ = _twissandra_app(scheduler=scheduler)
+        done = []
+        app.post_tweet("timeline:2", "hello from the test", done.append)
+        scheduler.run_until_idle()
+        assert done
+        stored_timeline = binding.store.get("timeline:2")
+        assert stored_timeline[0] == done[0]["tweet_key"]
+        assert binding.store.get(done[0]["tweet_key"]) == "hello from the test"
+
+    def test_timeline_capped_at_configured_length(self):
+        scheduler = Scheduler()
+        app, binding, dataset = _twissandra_app(scheduler=scheduler)
+        for i in range(dataset.timeline_length + 5):
+            app.post_tweet("timeline:3", f"tweet {i}")
+            scheduler.run_until_idle()
+        assert len(binding.store.get("timeline:3")) <= dataset.timeline_length
+
+    def test_speculation_latency_benefit(self):
+        latencies = {}
+        for speculate in (True, False):
+            scheduler = Scheduler()
+            app, _, _ = _twissandra_app(scheduler=scheduler)
+            results = []
+            app.get_timeline("timeline:4", results.append, speculate=speculate)
+            scheduler.run_until_idle()
+            latencies[speculate] = results[0]["latency_ms"]
+        assert latencies[True] < latencies[False]
+
+    def test_random_timeline_key_in_range(self):
+        app, _, dataset = _twissandra_app()
+        for _ in range(20):
+            key = app.random_timeline_key()
+            assert key in dataset.timeline_keys()

@@ -1,0 +1,63 @@
+"""Property-based tests for the ticket shop's safety and fast-path behaviour."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.tickets import TicketSeller
+from repro.bindings.local import LocalBinding
+from repro.core.client import CorrectableClient
+
+
+def _sell_everything(tickets: int, threshold: int, buyers: int):
+    """Sell a stock through ``buyers`` sequential purchase loops (LocalBinding)."""
+    binding = LocalBinding(weak_delay_ms=1, strong_delay_ms=40)
+    for i in range(tickets):
+        binding.store.enqueue("/t", f"ticket-{i}")
+    sellers = [TicketSeller(CorrectableClient(binding), "/t",
+                            threshold=threshold) for _ in range(buyers)]
+    sold = []
+    sellers_seeing_sold_out = 0
+    # The synchronous LocalBinding completes each purchase inline, so each
+    # retailer keeps buying until it personally observes the sold-out answer.
+    for seller in sellers:
+        while True:
+            outcome_box = []
+            seller.purchase_ticket(outcome_box.append)
+            outcome = outcome_box[0]
+            if outcome.sold_out:
+                sellers_seeing_sold_out += 1
+                break
+            sold.append(outcome)
+    return sold, sellers_seeing_sold_out, sellers
+
+
+@given(st.integers(min_value=0, max_value=60),
+       st.integers(min_value=0, max_value=30),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_stock_sold_exactly_once_and_never_oversold(tickets, threshold, buyers):
+    sold, _, _ = _sell_everything(tickets, threshold, buyers)
+    assert len(sold) == tickets
+    assert len({outcome.ticket for outcome in sold}) == tickets
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=0, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_fast_path_used_exactly_while_stock_above_threshold(tickets, threshold):
+    sold, _, sellers = _sell_everything(tickets, threshold, buyers=1)
+    fast = sum(1 for outcome in sold if outcome.used_preliminary)
+    # The weak view reports the stock size *before* the dequeue, so purchases
+    # use the fast path while strictly more than `threshold` tickets remain
+    # after taking one (remaining > threshold).
+    expected_fast = max(0, tickets - threshold - 1)
+    assert fast == expected_fast
+    assert sellers[0].purchases_from_preliminary == fast
+    assert sellers[0].purchases_from_final == tickets - fast
+
+
+@given(st.integers(min_value=1, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_every_customer_eventually_sees_sold_out(tickets):
+    _, sellers_seeing_sold_out, _ = _sell_everything(tickets, threshold=5,
+                                                     buyers=3)
+    assert sellers_seeing_sold_out == 3

@@ -1,0 +1,170 @@
+"""Tests for the ticket-selling and news-reader case-study applications."""
+
+import pytest
+
+from repro.apps.news import NewsReader
+from repro.apps.tickets import TicketSeller
+from repro.bindings.cached_store import CachedStoreBinding
+from repro.bindings.local import LocalBinding
+from repro.bindings.primary_backup import PrimaryBackupBinding
+from repro.bindings.zookeeper import ZooKeeperQueueBinding
+from repro.core.client import CorrectableClient
+from repro.sim.scheduler import Scheduler
+from repro.sim.topology import Region
+
+
+def _seller_over_local(tickets, threshold=20):
+    """A ticket seller backed by the in-memory queue binding."""
+    binding = LocalBinding(weak_delay_ms=1, strong_delay_ms=40)
+    for i in range(tickets):
+        binding.store.enqueue("/tickets", f"ticket-{i}")
+    seller = TicketSeller(CorrectableClient(binding), "/tickets",
+                          threshold=threshold)
+    return seller, binding
+
+
+class TestTicketSellerLocal:
+    def test_purchase_uses_preliminary_when_stock_high(self):
+        seller, _ = _seller_over_local(tickets=100)
+        outcomes = []
+        seller.purchase_ticket(outcomes.append)
+        assert outcomes[0].succeeded
+        assert outcomes[0].used_preliminary
+        assert seller.purchases_from_preliminary == 1
+
+    def test_purchase_waits_for_final_when_stock_low(self):
+        seller, _ = _seller_over_local(tickets=10, threshold=20)
+        outcomes = []
+        seller.purchase_ticket(outcomes.append)
+        assert outcomes[0].succeeded
+        assert not outcomes[0].used_preliminary
+        assert seller.purchases_from_final == 1
+
+    def test_sold_out(self):
+        seller, _ = _seller_over_local(tickets=0)
+        outcomes = []
+        seller.purchase_ticket(outcomes.append)
+        assert outcomes[0].sold_out
+        assert not outcomes[0].succeeded
+        assert seller.sold_out_responses == 1
+
+    def test_baseline_never_uses_preliminary(self):
+        seller, _ = _seller_over_local(tickets=100)
+        outcomes = []
+        seller.purchase_ticket(outcomes.append, use_icg=False)
+        assert outcomes[0].succeeded
+        assert not outcomes[0].used_preliminary
+
+    def test_stock_ticket(self):
+        seller, binding = _seller_over_local(tickets=0)
+        done = []
+        seller.stock_ticket("ticket-x", done.append)
+        assert binding.store.queue_length("/tickets") == 1
+        assert done
+
+    def test_purchase_counter(self):
+        seller, _ = _seller_over_local(tickets=50)
+        for _ in range(3):
+            seller.purchase_ticket(lambda outcome: None)
+        assert seller.purchases_attempted == 3
+
+
+class TestTicketSellerZooKeeper:
+    def test_icg_purchase_is_much_faster_than_baseline(self, zookeeper_setup):
+        env, cluster, _ = zookeeper_setup
+        cluster.preload_queue("/tickets", [f"t{i}" for i in range(100)])
+        node = cluster.add_client("retailer", Region.FRK,
+                                  connect_region=Region.FRK, colocated=True)
+        seller = TicketSeller(
+            CorrectableClient(ZooKeeperQueueBinding(node, "/tickets")),
+            "/tickets", threshold=20)
+        outcomes = []
+        seller.purchase_ticket(outcomes.append, use_icg=True)
+        env.run_until_idle()
+        seller.purchase_ticket(outcomes.append, use_icg=False)
+        env.run_until_idle()
+        assert outcomes[0].used_preliminary
+        assert outcomes[0].latency_ms < 5.0
+        assert outcomes[1].latency_ms > 20.0
+
+    def test_no_overselling_under_contention(self, zookeeper_setup):
+        env, cluster, _ = zookeeper_setup
+        cluster.preload_queue("/stock", [f"t{i}" for i in range(30)])
+        sellers = []
+        sold = []
+        for i in range(3):
+            node = cluster.add_client(f"retailer-{i}", Region.FRK,
+                                      connect_region=Region.FRK,
+                                      colocated=True)
+            sellers.append(TicketSeller(
+                CorrectableClient(ZooKeeperQueueBinding(node, "/stock")),
+                "/stock", threshold=5))
+
+        def _loop(seller):
+            def _buy():
+                seller.purchase_ticket(_done)
+
+            def _done(outcome):
+                if outcome.sold_out:
+                    return
+                sold.append(outcome.ticket)
+                _buy()
+
+            _buy()
+
+        for seller in sellers:
+            _loop(seller)
+        env.run_until_idle()
+        assert len(sold) == 30            # every ticket sold exactly once
+        assert len(set(sold)) == 30       # and never twice
+
+
+class TestNewsReader:
+    def _reader(self, scheduler=None, with_cache=True):
+        inner = PrimaryBackupBinding(scheduler=scheduler, backup_rtt_ms=10,
+                                     primary_rtt_ms=80)
+        binding = CachedStoreBinding(inner, scheduler=scheduler,
+                                     cache_latency_ms=0.5) if with_cache else inner
+        return NewsReader(CorrectableClient(binding)), binding
+
+    def test_publish_then_read_three_views(self):
+        reader, _ = self._reader()
+        reader.publish(["s1", "s2"])
+        reader.get_latest_news()
+        # First read: no cache entry yet (publish write-through filled it).
+        assert reader.latest_display() == ["s1", "s2"]
+        assert reader.refreshes >= 2
+
+    def test_refresh_callback_receives_each_view(self):
+        scheduler = Scheduler()
+        reader, _ = self._reader(scheduler=scheduler)
+        reader.publish(["a"])
+        scheduler.run_until_idle()
+        levels = []
+        reader.get_latest_news(refresh=lambda items, level: levels.append(level))
+        scheduler.run_until_idle()
+        assert levels == ["cached", "weak", "strong"]
+
+    def test_display_converges_to_freshest_view(self):
+        scheduler = Scheduler()
+        reader, binding = self._reader(scheduler=scheduler)
+        reader.publish(["old"])
+        scheduler.run_until_idle()
+        # Publish fresh content but read before the backup catches up.
+        binding.inner.store.write(NewsReader.NEWS_KEY, ["fresh"])
+        reader.get_latest_news()
+        scheduler.run_until_idle()
+        assert reader.latest_display() == ["fresh"]
+        history_levels = [entry["consistency"]
+                          for entry in reader.display_history]
+        assert history_levels[-1] == "strong"
+
+    def test_two_view_configuration_without_cache(self):
+        scheduler = Scheduler()
+        reader, _ = self._reader(scheduler=scheduler, with_cache=False)
+        reader.publish(["x"])
+        scheduler.run_until_idle()
+        reader.get_latest_news()
+        scheduler.run_until_idle()
+        assert [e["consistency"] for e in reader.display_history] == \
+            ["weak", "strong"]

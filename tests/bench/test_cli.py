@@ -1,0 +1,41 @@
+"""Tests for the figure-regeneration command line."""
+
+import pytest
+
+from repro.bench.cli import build_parser, figure_names, main, run_figure
+
+
+class TestParser:
+    def test_accepts_every_figure(self):
+        parser = build_parser()
+        for name in figure_names():
+            args = parser.parse_args([name, "--quick"])
+            assert args.figure == name and args.quick
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_seed_parsed(self):
+        args = build_parser().parse_args(["fig12", "--seed", "7"])
+        assert args.seed == 7
+
+
+class TestRunFigure:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_quick_fig09_produces_report(self):
+        report = run_figure("fig09", quick=True)
+        assert "Figure 9" in report
+        assert "leader" in report
+
+    def test_quick_fig12_with_seed(self):
+        report = run_figure("fig12", quick=True, seed=9)
+        assert "Figure 12" in report
+
+    def test_main_prints_report(self, capsys):
+        assert main(["fig09", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out

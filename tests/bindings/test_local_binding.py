@@ -1,0 +1,135 @@
+"""Tests for the in-memory LocalBinding and LocalStore."""
+
+import random
+
+import pytest
+
+from repro.bindings.local import LocalBinding, LocalStore
+from repro.core.client import CorrectableClient
+from repro.core.consistency import STRONG, WEAK
+from repro.core.errors import OperationError
+from repro.core.operations import dequeue, enqueue, read, write
+from repro.sim.scheduler import Scheduler
+
+
+class TestLocalStore:
+    def test_put_get(self):
+        store = LocalStore()
+        store.put("k", 1)
+        assert store.get("k") == 1
+        assert store.contains("k")
+        assert store.keys() == ["k"]
+
+    def test_get_missing_raises(self):
+        with pytest.raises(OperationError):
+            LocalStore().get("nope")
+
+    def test_stale_value_is_previous(self):
+        store = LocalStore()
+        store.put("k", "old")
+        store.put("k", "new")
+        assert store.get_stale("k") == "old"
+        assert store.get("k") == "new"
+
+    def test_stale_without_history_falls_back(self):
+        store = LocalStore()
+        store.put("k", "only")
+        assert store.get_stale("k") == "only"
+
+    def test_queue_fifo(self):
+        store = LocalStore()
+        store.enqueue("q", "a")
+        store.enqueue("q", "b")
+        assert store.peek("q") == "a"
+        assert store.dequeue("q") == "a"
+        assert store.queue_length("q") == 1
+
+    def test_dequeue_empty_returns_none(self):
+        assert LocalStore().dequeue("q") is None
+
+
+class TestSynchronousBinding:
+    def test_read_via_client(self):
+        store = LocalStore()
+        store.put("k", "v")
+        client = CorrectableClient(LocalBinding(store))
+        c = client.invoke(read("k"))
+        assert c.is_final()
+        assert c.value() == "v"
+        assert len(c.views()) == 2
+        assert c.views()[0].consistency == WEAK
+        assert c.final_view().consistency == STRONG
+
+    def test_read_missing_key_errors(self):
+        client = CorrectableClient(LocalBinding())
+        c = client.invoke_strong(read("missing"))
+        assert c.is_error()
+
+    def test_write_applies_to_store(self):
+        binding = LocalBinding()
+        client = CorrectableClient(binding)
+        client.invoke_strong(write("k", 42))
+        assert binding.store.get("k") == 42
+
+    def test_weak_only_write_does_not_mutate(self):
+        binding = LocalBinding()
+        binding.store.put("k", "orig")
+        client = CorrectableClient(binding)
+        client.invoke_weak(write("k", "tentative"))
+        assert binding.store.get("k") == "orig"
+
+    def test_stale_probability_one_returns_previous_value(self):
+        binding = LocalBinding(stale_probability=1.0, rng=random.Random(1))
+        binding.store.put("k", "old")
+        binding.store.put("k", "new")
+        client = CorrectableClient(binding)
+        c = client.invoke(read("k"))
+        assert c.views()[0].value == "old"    # weak view is stale
+        assert c.value() == "new"             # final view is authoritative
+
+    def test_queue_operations(self):
+        binding = LocalBinding()
+        client = CorrectableClient(binding)
+        client.invoke_strong(enqueue("q", "t1"))
+        client.invoke_strong(enqueue("q", "t2"))
+        c = client.invoke(dequeue("q"))
+        assert c.value()["item"] == "t1"
+        assert c.value()["remaining"] == 1
+
+    def test_unsupported_operation_errors(self):
+        from repro.core.operations import custom
+        client = CorrectableClient(LocalBinding())
+        c = client.invoke_strong(custom("scan", "tbl"))
+        assert c.is_error()
+
+
+class TestScheduledBinding:
+    def test_delays_applied(self):
+        scheduler = Scheduler()
+        binding = LocalBinding(scheduler=scheduler, weak_delay_ms=5,
+                               strong_delay_ms=50)
+        binding.store.put("k", "v")
+        client = CorrectableClient(binding)
+        times = []
+        c = client.invoke(read("k"))
+        c.set_callbacks(on_update=lambda v: times.append(("weak", scheduler.now())),
+                        on_final=lambda v: times.append(("strong", scheduler.now())))
+        scheduler.run_until_idle()
+        assert times == [("weak", 5.0), ("strong", 50.0)]
+
+    def test_views_timestamped_with_sim_clock(self):
+        scheduler = Scheduler()
+        binding = LocalBinding(scheduler=scheduler)
+        binding.store.put("k", "v")
+        client = CorrectableClient(binding)
+        c = client.invoke_strong(read("k"))
+        scheduler.run_until_idle()
+        assert c.final_view().timestamp == pytest.approx(50.0)
+
+    def test_operations_counter(self):
+        binding = LocalBinding()
+        binding.store.put("k", "v")
+        client = CorrectableClient(binding)
+        client.invoke(read("k"))
+        client.invoke_weak(read("k"))
+        assert binding.operations_submitted == 2

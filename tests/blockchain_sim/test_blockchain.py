@@ -1,0 +1,185 @@
+"""Tests for the blockchain substrate and its Correctables binding."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bindings.blockchain import (
+    CONFIRMED_1,
+    CONFIRMED_3,
+    CONFIRMED_6,
+    PENDING,
+    BlockchainBinding,
+    transfer,
+)
+from repro.blockchain_sim.chain import Blockchain, Transaction
+from repro.blockchain_sim.network import BlockchainConfig, BlockchainNetwork
+from repro.core.client import CorrectableClient
+from repro.core.operations import read
+from repro.sim.scheduler import Scheduler
+
+
+class TestBlockchain:
+    def test_append_and_confirmations(self):
+        chain = Blockchain()
+        tx = Transaction("a", "b", 1.0)
+        chain.append_block([tx], mined_at=0.0)
+        assert chain.confirmations(tx.tx_id) == 1
+        chain.append_block([], mined_at=1.0)
+        chain.append_block([], mined_at=2.0)
+        assert chain.confirmations(tx.tx_id) == 3
+        assert chain.contains(tx.tx_id)
+
+    def test_unknown_transaction_has_zero_confirmations(self):
+        assert Blockchain().confirmations("nope") == 0
+
+    def test_orphan_tip_demotes_transactions(self):
+        chain = Blockchain()
+        tx = Transaction("a", "b", 1.0)
+        chain.append_block([tx], mined_at=0.0)
+        demoted = chain.orphan_tip()
+        assert demoted == [tx]
+        assert chain.confirmations(tx.tx_id) == 0
+        assert chain.orphaned_blocks == 1
+
+    def test_orphan_empty_chain_is_noop(self):
+        assert Blockchain().orphan_tip() == []
+
+    def test_blocks_link_to_parent(self):
+        chain = Blockchain()
+        first = chain.append_block([], mined_at=0.0)
+        second = chain.append_block([], mined_at=1.0)
+        assert second.parent_hash == first.block_hash
+        assert chain.height == 2
+
+    def test_balance(self):
+        chain = Blockchain()
+        chain.append_block([Transaction("alice", "bob", 5.0)], mined_at=0.0)
+        chain.append_block([Transaction("bob", "carol", 2.0)], mined_at=1.0)
+        assert chain.balance("bob") == pytest.approx(3.0)
+        assert chain.balance("alice", initial=10.0) == pytest.approx(5.0)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_confirmations_equal_depth_from_tip(self, extra_blocks):
+        chain = Blockchain()
+        tx = Transaction("a", "b", 1.0)
+        chain.append_block([tx], mined_at=0.0)
+        for i in range(extra_blocks):
+            chain.append_block([], mined_at=float(i + 1))
+        assert chain.confirmations(tx.tx_id) == extra_blocks + 1
+
+
+class TestBlockchainNetwork:
+    def _network(self, fork_probability=0.0, seed=1):
+        scheduler = Scheduler()
+        network = BlockchainNetwork(
+            scheduler,
+            BlockchainConfig(block_interval_ms=1_000.0,
+                             fork_probability=fork_probability),
+            rng=random.Random(seed))
+        return scheduler, network
+
+    def test_mining_includes_mempool_transactions(self):
+        scheduler, network = self._network()
+        network.start()
+        tx = Transaction("a", "b", 1.0)
+        network.submit_transaction(tx)
+        scheduler.run(until=5_000.0)
+        assert network.chain.contains(tx.tx_id)
+        assert network.mempool_size() == 0
+        assert network.blocks_mined >= 2
+
+    def test_watcher_sees_monotone_confirmations_without_forks(self):
+        scheduler, network = self._network(fork_probability=0.0)
+        network.start()
+        tx = Transaction("a", "b", 1.0)
+        network.submit_transaction(tx)
+        seen = []
+        network.watch_transaction(tx.tx_id, lambda c, h: seen.append(c))
+        scheduler.run(until=12_000.0)
+        assert seen == sorted(seen)
+        assert seen[-1] >= 6
+
+    def test_watchers_released_after_finality(self):
+        scheduler, network = self._network()
+        network.start()
+        tx = Transaction("a", "b", 1.0)
+        network.submit_transaction(tx)
+        network.watch_transaction(tx.tx_id, lambda c, h: None)
+        scheduler.run(until=15_000.0)
+        assert tx.tx_id not in network._watchers
+
+    def test_forks_orphan_blocks_and_remine_transactions(self):
+        scheduler, network = self._network(fork_probability=0.5, seed=3)
+        network.start()
+        tx = Transaction("a", "b", 1.0)
+        network.submit_transaction(tx)
+        scheduler.run(until=30_000.0)
+        assert network.chain.orphaned_blocks > 0
+        # Despite orphaning, the transaction ends up on the chain.
+        assert network.chain.contains(tx.tx_id)
+
+    def test_stop_prevents_new_blocks(self):
+        scheduler, network = self._network()
+        network.start()
+        scheduler.run(until=3_000.0)
+        mined = network.blocks_mined
+        network.stop()
+        scheduler.run(until=20_000.0)
+        assert network.blocks_mined <= mined + 1
+
+
+class TestBlockchainBinding:
+    def _client(self, fork_probability=0.0):
+        scheduler = Scheduler()
+        network = BlockchainNetwork(
+            scheduler,
+            BlockchainConfig(block_interval_ms=1_000.0,
+                             fork_probability=fork_probability),
+            rng=random.Random(2))
+        network.start()
+        return scheduler, network, CorrectableClient(BlockchainBinding(network))
+
+    def test_levels_ordered(self):
+        _, _, client = self._client()
+        assert client.available_levels() == [PENDING, CONFIRMED_1,
+                                             CONFIRMED_3, CONFIRMED_6]
+
+    def test_invoke_delivers_each_milestone_once(self):
+        scheduler, _, client = self._client()
+        c = client.invoke(transfer("alice", "bob", 2.5))
+        scheduler.run(until=12_000.0)
+        assert c.is_final()
+        levels = [view.consistency for view in c.views()]
+        assert levels == [PENDING, CONFIRMED_1, CONFIRMED_3, CONFIRMED_6]
+        confirmations = [view.value["confirmations"] for view in c.views()]
+        assert confirmations[0] == 0
+        assert confirmations[-1] >= 6
+
+    def test_invoke_weak_returns_pending_immediately(self):
+        scheduler, _, client = self._client()
+        c = client.invoke_weak(transfer("alice", "bob", 1.0))
+        assert c.is_final()
+        assert c.final_view().consistency == PENDING
+
+    def test_invoke_with_subset_of_levels(self):
+        scheduler, _, client = self._client()
+        c = client.invoke(transfer("a", "b", 1.0),
+                          levels=[CONFIRMED_1, CONFIRMED_6])
+        scheduler.run(until=12_000.0)
+        assert [view.consistency for view in c.views()] == \
+            [CONFIRMED_1, CONFIRMED_6]
+
+    def test_unsupported_operation_fails(self):
+        scheduler, _, client = self._client()
+        c = client.invoke_strong(read("balance"))
+        assert c.is_error()
+
+    def test_finality_reached_despite_forks(self):
+        scheduler, network, client = self._client(fork_probability=0.3)
+        c = client.invoke(transfer("alice", "bob", 1.0))
+        scheduler.run(until=60_000.0)
+        assert c.is_final()
+        assert network.chain.confirmations(
+            c.final_view().value["tx_id"]) >= 6

@@ -1,0 +1,102 @@
+"""Tests for the LRU client-side cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.client_cache import ClientCache
+
+
+class TestBasics:
+    def test_put_then_lookup_hits(self):
+        cache = ClientCache()
+        cache.put("k", "v")
+        hit, value = cache.lookup("k")
+        assert hit and value == "v"
+        assert cache.hits == 1
+
+    def test_lookup_missing_misses(self):
+        cache = ClientCache()
+        hit, value = cache.lookup("k")
+        assert not hit and value is None
+        assert cache.misses == 1
+
+    def test_get_with_default(self):
+        cache = ClientCache()
+        assert cache.get("absent", default="d") == "d"
+        cache.put("present", 1)
+        assert cache.get("present") == 1
+
+    def test_contains_and_len(self):
+        cache = ClientCache()
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_cached_none_is_a_hit(self):
+        cache = ClientCache()
+        cache.put("k", None)
+        hit, value = cache.lookup("k")
+        assert hit and value is None
+
+    def test_invalidate(self):
+        cache = ClientCache()
+        cache.put("k", 1)
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+        assert "k" not in cache
+
+    def test_clear(self):
+        cache = ClientCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = ClientCache()
+        cache.put("k", 1)
+        cache.lookup("k")
+        cache.lookup("missing")
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert ClientCache().hit_rate() == 0.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ClientCache(capacity=0)
+
+
+class TestEviction:
+    def test_evicts_least_recently_used(self):
+        cache = ClientCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.lookup("a")          # refresh a
+        cache.put("c", 3)          # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ClientCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)          # evicts b, not a
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=30),
+                          st.integers()), max_size=100),
+       st.integers(min_value=1, max_value=10))
+def test_capacity_never_exceeded_and_latest_value_wins(operations, capacity):
+    cache = ClientCache(capacity=capacity)
+    latest = {}
+    for key, value in operations:
+        cache.put(str(key), value)
+        latest[str(key)] = value
+        assert len(cache) <= capacity
+    for key in latest:
+        hit, value = cache.lookup(key)
+        if hit:
+            assert value == latest[key]

@@ -1,0 +1,117 @@
+"""Unit tests for coordinator session bookkeeping and client request handling."""
+
+import pytest
+
+from repro.cassandra_sim.coordinator import ReadSession, WriteSession
+from repro.cassandra_sim.versions import VersionedValue
+from repro.sim.network import Message
+from repro.sim.topology import Region
+
+
+def _read_session(r=2, icg=True):
+    return ReadSession(session_id=1, req_id=10, client="client", key="k",
+                       r=r, icg=icg, started_at=0.0)
+
+
+class TestReadSession:
+    def test_quorum_reached_only_after_r_responses(self):
+        session = _read_session(r=2)
+        session.record("a", VersionedValue("v", (1.0, "a", 1)))
+        assert not session.have_quorum()
+        session.record("b", None)
+        assert session.have_quorum()
+
+    def test_resolved_prefers_newest_version(self):
+        session = _read_session()
+        session.record("a", VersionedValue("old", (1.0, "a", 1)))
+        session.record("b", VersionedValue("new", (2.0, "b", 1)))
+        assert session.resolved().value == "new"
+
+    def test_resolved_none_when_all_missing(self):
+        session = _read_session()
+        session.record("a", None)
+        session.record("b", None)
+        assert session.resolved() is None
+
+    def test_stale_replicas_lists_outdated_and_missing(self):
+        session = _read_session(r=3)
+        session.record("a", VersionedValue("new", (5.0, "a", 1)))
+        session.record("b", VersionedValue("old", (1.0, "b", 1)))
+        session.record("c", None)
+        assert sorted(session.stale_replicas()) == ["b", "c"]
+
+    def test_stale_replicas_empty_when_no_data(self):
+        session = _read_session()
+        session.record("a", None)
+        assert session.stale_replicas() == []
+
+    def test_duplicate_response_overwrites_not_double_counts(self):
+        session = _read_session(r=2)
+        session.record("a", VersionedValue("v1", (1.0, "a", 1)))
+        session.record("a", VersionedValue("v2", (2.0, "a", 2)))
+        assert not session.have_quorum()
+        assert session.resolved().value == "v2"
+
+
+class TestWriteSession:
+    def _session(self, w=2):
+        return WriteSession(session_id=1, req_id=10, client="client", key="k",
+                            w=w, version=VersionedValue("v", (1.0, "c", 1)),
+                            started_at=0.0)
+
+    def test_ack_counting(self):
+        session = self._session(w=2)
+        session.record_ack("a")
+        assert not session.have_quorum()
+        session.record_ack("b")
+        assert session.have_quorum()
+
+    def test_duplicate_acks_ignored(self):
+        session = self._session(w=2)
+        session.record_ack("a")
+        session.record_ack("a")
+        assert not session.have_quorum()
+
+
+class TestClientRequestHandling:
+    def test_unknown_response_req_id_is_ignored(self, cassandra_setup):
+        env, cluster, client = cassandra_setup
+        stray = Message(src=cluster.replicas[0].name, dst=client.name,
+                        kind="read_final",
+                        payload={"req_id": 999, "value": "x", "found": True,
+                                 "timestamp": None, "is_confirmation": False})
+        # Should not raise even though no request 999 is pending.
+        client.on_read_final(stray)
+        client.on_read_preliminary(Message(
+            src=cluster.replicas[0].name, dst=client.name,
+            kind="read_preliminary",
+            payload={"req_id": 999, "value": "x", "found": True,
+                     "timestamp": None}))
+
+    def test_duplicate_final_response_is_ignored(self, cassandra_setup):
+        env, cluster, client = cassandra_setup
+        results = []
+        req_id = client.read("key1", r=1, on_final=results.append)
+        env.run_until_idle()
+        assert len(results) == 1
+        client.on_read_final(Message(
+            src=cluster.replicas[0].name, dst=client.name, kind="read_final",
+            payload={"req_id": req_id, "value": "other", "found": True,
+                     "timestamp": None, "is_confirmation": False}))
+        assert len(results) == 1
+
+    def test_coordinator_crash_leaves_request_pending(self, cassandra_setup):
+        env, cluster, client = cassandra_setup
+        cluster.replica_in(Region.FRK).crash()
+        results = []
+        client.read("key1", r=2, on_final=results.append)
+        env.run_until_idle()
+        # No wrong answer is fabricated; the request simply never completes.
+        assert results == []
+
+    def test_request_counters(self, cassandra_setup):
+        env, _, client = cassandra_setup
+        client.read("key1", r=1)
+        client.write("key1", "v", w=1)
+        assert client.reads_sent == 1
+        assert client.writes_sent == 1

@@ -1,0 +1,149 @@
+"""Tests for the LWW storage engine, versions, and the ring partitioner."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cassandra_sim.partitioner import RingPartitioner
+from repro.cassandra_sim.storage import LocalTable
+from repro.cassandra_sim.versions import VersionedValue, resolve
+
+
+class TestVersions:
+    def test_newer_than_none(self):
+        assert VersionedValue("a", (1.0, "n1", 1)).newer_than(None)
+
+    def test_timestamp_ordering(self):
+        older = VersionedValue("a", (1.0, "n1", 1))
+        newer = VersionedValue("b", (2.0, "n1", 1))
+        assert newer.newer_than(older)
+        assert not older.newer_than(newer)
+
+    def test_tie_broken_by_writer_then_sequence(self):
+        a = VersionedValue("a", (1.0, "node-a", 1))
+        b = VersionedValue("b", (1.0, "node-b", 1))
+        assert b.newer_than(a)
+        c = VersionedValue("c", (1.0, "node-b", 2))
+        assert c.newer_than(b)
+
+    def test_resolve_picks_newest(self):
+        versions = [VersionedValue("a", (1.0, "x", 1)),
+                    None,
+                    VersionedValue("b", (3.0, "x", 1)),
+                    VersionedValue("c", (2.0, "x", 1))]
+        assert resolve(versions).value == "b"
+
+    def test_resolve_all_missing(self):
+        assert resolve([None, None]) is None
+
+    def test_resolve_empty(self):
+        assert resolve([]) is None
+
+
+class TestLocalTable:
+    def test_read_missing_returns_none(self):
+        assert LocalTable().read("nope") is None
+
+    def test_apply_then_read(self):
+        table = LocalTable()
+        version = VersionedValue("v", (1.0, "n", 1))
+        assert table.apply("k", version)
+        assert table.read("k") == version
+        assert table.contains("k")
+        assert len(table) == 1
+
+    def test_stale_write_ignored(self):
+        table = LocalTable()
+        newer = VersionedValue("new", (5.0, "n", 1))
+        older = VersionedValue("old", (1.0, "n", 1))
+        table.apply("k", newer)
+        assert not table.apply("k", older)
+        assert table.read("k").value == "new"
+        assert table.writes_ignored == 1
+
+    def test_counters(self):
+        table = LocalTable()
+        table.read("a")
+        table.apply("a", VersionedValue("v", (1.0, "n", 1)))
+        assert table.reads == 1
+        assert table.writes_applied == 1
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.sampled_from(["n1", "n2", "n3"]),
+                          st.integers(min_value=0, max_value=10),
+                          st.integers()),
+                min_size=1, max_size=30))
+def test_lww_register_converges_regardless_of_order(writes):
+    """Applying the same writes in any order yields the same final value.
+
+    Timestamps are unique in the simulator (per-coordinator sequence numbers
+    break ties), so duplicate timestamps are collapsed before checking.
+    """
+    unique = {}
+    for ts, writer, seq, value in writes:
+        unique.setdefault((ts, writer, seq), value)
+    versions = [VersionedValue(value, timestamp)
+                for timestamp, value in unique.items()]
+    forward, backward = LocalTable(), LocalTable()
+    for version in versions:
+        forward.apply("k", version)
+    for version in reversed(versions):
+        backward.apply("k", version)
+    assert forward.read("k") == backward.read("k")
+    assert forward.read("k") == resolve(versions)
+
+
+class TestPartitioner:
+    def test_preference_list_size(self):
+        partitioner = RingPartitioner(["a", "b", "c"], replication_factor=3)
+        assert sorted(partitioner.replicas_for("key1")) == ["a", "b", "c"]
+
+    def test_rf_smaller_than_cluster(self):
+        partitioner = RingPartitioner(["a", "b", "c", "d", "e"],
+                                      replication_factor=3)
+        replicas = partitioner.replicas_for("some-key")
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_deterministic(self):
+        p1 = RingPartitioner(["a", "b", "c"], 2)
+        p2 = RingPartitioner(["a", "b", "c"], 2)
+        for i in range(50):
+            assert p1.replicas_for(f"k{i}") == p2.replicas_for(f"k{i}")
+
+    def test_primary_is_first_replica(self):
+        partitioner = RingPartitioner(["a", "b", "c", "d"], 2)
+        key = "user42"
+        assert partitioner.primary_for(key) == partitioner.replicas_for(key)[0]
+
+    def test_is_replica(self):
+        partitioner = RingPartitioner(["a", "b", "c"], 3)
+        assert partitioner.is_replica("a", "anything")
+
+    def test_rf_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RingPartitioner(["a"], 0)
+
+    def test_rf_larger_than_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            RingPartitioner(["a", "b"], 3)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            RingPartitioner([], 1)
+
+    def test_distribution_roughly_balanced(self):
+        partitioner = RingPartitioner([f"n{i}" for i in range(5)],
+                                      replication_factor=1, vnodes_per_node=32)
+        counts = {f"n{i}": 0 for i in range(5)}
+        for i in range(2000):
+            counts[partitioner.primary_for(f"key-{i}")] += 1
+        for count in counts.values():
+            assert count > 100  # no node owns a vanishing share
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_replicas_unique_for_any_key(self, key):
+        partitioner = RingPartitioner(["a", "b", "c", "d"], 3)
+        replicas = partitioner.replicas_for(key)
+        assert len(replicas) == len(set(replicas)) == 3

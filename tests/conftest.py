@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.environment import SimEnvironment
+from repro.sim.scheduler import Scheduler
+from repro.sim.topology import Region
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    """A fresh simulated-time scheduler."""
+    return Scheduler()
+
+
+@pytest.fixture
+def env() -> SimEnvironment:
+    """A fresh simulation environment with the default EC2 topology."""
+    return SimEnvironment(seed=123)
+
+
+@pytest.fixture
+def cassandra_setup(env):
+    """A 3-replica Cassandra cluster, one IRL client contacting FRK, preloaded."""
+    from repro.cassandra_sim.cluster import CassandraCluster
+    from repro.cassandra_sim.config import CassandraConfig
+
+    cluster = CassandraCluster(env, CassandraConfig())
+    cluster.preload({f"key{i}": f"value{i}" for i in range(20)})
+    client = cluster.add_client("test-client", region=Region.IRL,
+                                contact_region=Region.FRK)
+    return env, cluster, client
+
+
+@pytest.fixture
+def zookeeper_setup(env):
+    """A leader(IRL) + followers(FRK, VRG) ensemble with a preloaded queue."""
+    from repro.zookeeper_sim.cluster import ZooKeeperCluster
+
+    cluster = ZooKeeperCluster(env, leader_region=Region.IRL,
+                               follower_regions=(Region.FRK, Region.VRG))
+    cluster.preload_queue("/queue", [f"item-{i}" for i in range(10)])
+    client = cluster.add_client("zk-test-client", region=Region.FRK,
+                                connect_region=Region.FRK)
+    return env, cluster, client

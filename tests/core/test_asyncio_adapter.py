@@ -1,0 +1,89 @@
+"""Tests for the asyncio bridge."""
+
+import asyncio
+
+import pytest
+
+from repro.core.asyncio_adapter import final_value, promise_to_future, view_stream
+from repro.core.consistency import STRONG, WEAK
+from repro.core.correctable import Correctable
+from repro.core.errors import OperationError
+from repro.core.promise import Promise
+
+
+def _run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+class TestPromiseToFuture:
+    def test_resolved_promise(self):
+        async def scenario():
+            promise = Promise.resolved(5)
+            return await promise_to_future(promise)
+
+        assert _run(scenario()) == 5
+
+    def test_promise_resolved_later(self):
+        async def scenario():
+            promise = Promise()
+            loop = asyncio.get_event_loop()
+            loop.call_soon(promise.resolve, "later")
+            return await promise_to_future(promise)
+
+        assert _run(scenario()) == "later"
+
+    def test_failed_promise_raises(self):
+        async def scenario():
+            promise = Promise.failed(OperationError("x"))
+            return await promise_to_future(promise)
+
+        with pytest.raises(OperationError):
+            _run(scenario())
+
+
+class TestFinalValue:
+    def test_final_value_awaits_close(self):
+        async def scenario():
+            correctable = Correctable()
+            loop = asyncio.get_event_loop()
+            loop.call_soon(correctable.update, "weak", WEAK)
+            loop.call_soon(correctable.close, "strong", STRONG)
+            return await final_value(correctable)
+
+        assert _run(scenario()) == "strong"
+
+
+class TestViewStream:
+    def test_yields_all_views_in_order(self):
+        async def scenario():
+            correctable = Correctable()
+            loop = asyncio.get_event_loop()
+            loop.call_soon(correctable.update, "a", WEAK)
+            loop.call_soon(correctable.update, "b", WEAK)
+            loop.call_soon(correctable.close, "c", STRONG)
+            return [view.value async for view in view_stream(correctable)]
+
+        assert _run(scenario()) == ["a", "b", "c"]
+
+    def test_stream_raises_on_error(self):
+        async def scenario():
+            correctable = Correctable()
+            loop = asyncio.get_event_loop()
+            loop.call_soon(correctable.fail, OperationError("down"))
+            return [view.value async for view in view_stream(correctable)]
+
+        with pytest.raises(OperationError):
+            _run(scenario())
+
+    def test_already_closed_correctable_streams_history(self):
+        async def scenario():
+            correctable = Correctable()
+            correctable.update("a", WEAK)
+            correctable.close("b", STRONG)
+            return [view.value async for view in view_stream(correctable)]
+
+        assert _run(scenario()) == ["a", "b"]

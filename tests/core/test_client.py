@@ -1,0 +1,178 @@
+"""Tests for the three-method CorrectableClient API over a scripted binding."""
+
+import pytest
+
+from repro.core.client import CorrectableClient
+from repro.core.consistency import CACHED, CAUSAL, STRONG, WEAK
+from repro.core.correctable import CorrectableState
+from repro.core.errors import (
+    BindingError,
+    OperationError,
+    UnsupportedConsistencyError,
+)
+from repro.core.operations import read, write
+
+
+class ScriptedBinding:
+    """A binding whose responses are driven manually by the test."""
+
+    def __init__(self, levels=(WEAK, STRONG)):
+        self.levels = list(levels)
+        self.submissions = []
+
+    def consistency_levels(self):
+        return list(self.levels)
+
+    def submit_operation(self, operation, levels, callback):
+        self.submissions.append({"operation": operation, "levels": levels,
+                                 "callback": callback})
+
+    # -- helpers the tests call to emulate storage responses -----------------
+    def respond(self, index, level, value, metadata=None, error=None):
+        self.submissions[index]["callback"](level, value, metadata=metadata,
+                                            error=error)
+
+
+class TestLevelSelection:
+    def test_invoke_requests_all_levels_by_default(self):
+        binding = ScriptedBinding(levels=(WEAK, CAUSAL, STRONG))
+        client = CorrectableClient(binding)
+        client.invoke(read("k"))
+        assert binding.submissions[0]["levels"] == [WEAK, CAUSAL, STRONG]
+
+    def test_invoke_weak_requests_only_weakest(self):
+        binding = ScriptedBinding(levels=(CACHED, WEAK, STRONG))
+        client = CorrectableClient(binding)
+        client.invoke_weak(read("k"))
+        assert binding.submissions[0]["levels"] == [CACHED]
+
+    def test_invoke_strong_requests_only_strongest(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        client.invoke_strong(read("k"))
+        assert binding.submissions[0]["levels"] == [STRONG]
+
+    def test_invoke_with_subset_of_levels(self):
+        binding = ScriptedBinding(levels=(WEAK, CAUSAL, STRONG))
+        client = CorrectableClient(binding)
+        client.invoke(read("k"), levels=[STRONG, WEAK])
+        assert binding.submissions[0]["levels"] == [WEAK, STRONG]
+
+    def test_invoke_with_unsupported_level_raises(self):
+        binding = ScriptedBinding(levels=(WEAK, STRONG))
+        client = CorrectableClient(binding)
+        with pytest.raises(UnsupportedConsistencyError):
+            client.invoke(read("k"), levels=[CAUSAL])
+
+    def test_invoke_with_empty_levels_raises(self):
+        client = CorrectableClient(ScriptedBinding())
+        with pytest.raises(UnsupportedConsistencyError):
+            client.invoke(read("k"), levels=[])
+
+    def test_binding_without_levels_raises(self):
+        client = CorrectableClient(ScriptedBinding(levels=()))
+        with pytest.raises(BindingError):
+            client.invoke(read("k"))
+
+    def test_camelcase_aliases(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        client.invokeWeak(read("k"))
+        client.invokeStrong(read("k"))
+        assert binding.submissions[0]["levels"] == [WEAK]
+        assert binding.submissions[1]["levels"] == [STRONG]
+
+
+class TestViewDelivery:
+    def test_weak_then_strong_updates_then_closes(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke(read("k"))
+        binding.respond(0, WEAK, "stale")
+        assert c.is_updating()
+        assert c.latest_view().value == "stale"
+        binding.respond(0, STRONG, "fresh")
+        assert c.is_final()
+        assert c.value() == "fresh"
+
+    def test_strong_arriving_first_closes_and_late_weak_is_dropped(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke(read("k"))
+        binding.respond(0, STRONG, "fresh")
+        assert c.is_final()
+        binding.respond(0, WEAK, "stale")
+        assert c.value() == "fresh"
+        assert c.discarded_updates == 1
+
+    def test_single_level_invocation_closes_directly(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke_weak(read("k"))
+        binding.respond(0, WEAK, "value")
+        assert c.is_final()
+        assert c.final_view().consistency == WEAK
+
+    def test_error_fails_correctable(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke(read("missing"))
+        binding.respond(0, STRONG, None, error=OperationError("not found"))
+        assert c.state is CorrectableState.ERROR
+
+    def test_error_after_final_is_ignored(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke(read("k"))
+        binding.respond(0, STRONG, "v")
+        binding.respond(0, WEAK, None, error=OperationError("late failure"))
+        assert c.is_final()
+
+    def test_unrequested_level_raises_binding_error(self):
+        binding = ScriptedBinding(levels=(WEAK, CAUSAL, STRONG))
+        client = CorrectableClient(binding)
+        client.invoke(read("k"), levels=[WEAK, STRONG])
+        with pytest.raises(BindingError):
+            binding.respond(0, CAUSAL, "v")
+
+    def test_confirmation_reuses_preliminary_value(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke(read("k"))
+        binding.respond(0, WEAK, "the-value")
+        binding.respond(0, STRONG, None, metadata={"is_confirmation": True})
+        assert c.value() == "the-value"
+        assert c.final_view().is_confirmation
+
+    def test_metadata_is_attached_to_views(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        c = client.invoke(read("k"))
+        binding.respond(0, WEAK, "v", metadata={"replica": "r1"})
+        assert c.latest_view().metadata["replica"] == "r1"
+
+
+class TestInstrumentation:
+    def test_counters(self):
+        binding = ScriptedBinding()
+        client = CorrectableClient(binding)
+        client.invoke(read("a"))
+        client.invoke_weak(read("b"))
+        client.invoke_strong(write("c", 1))
+        assert client.invocations == 3
+        assert client.icg_invocations == 1
+        assert client.weak_invocations == 1
+        assert client.strong_invocations == 1
+
+    def test_available_levels_sorted(self):
+        binding = ScriptedBinding(levels=(STRONG, WEAK))
+        client = CorrectableClient(binding)
+        assert client.available_levels() == [WEAK, STRONG]
+
+    def test_clock_from_binding_timestamps_views(self):
+        binding = ScriptedBinding()
+        binding.clock = lambda: 123.0
+        client = CorrectableClient(binding)
+        c = client.invoke_strong(read("k"))
+        binding.respond(0, STRONG, "v")
+        assert c.final_view().timestamp == 123.0

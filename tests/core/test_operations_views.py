@@ -1,0 +1,61 @@
+"""Tests for operation descriptors and View objects."""
+
+from repro.core.consistency import STRONG, WEAK
+from repro.core.operations import Operation, custom, dequeue, enqueue, read, write
+from repro.core.views import View
+
+
+class TestOperations:
+    def test_read_is_read(self):
+        op = read("user1")
+        assert op.name == "read"
+        assert op.key == "user1"
+        assert op.is_read
+
+    def test_write_carries_value(self):
+        op = write("user1", "value")
+        assert not op.is_read
+        assert op.args == ("value",)
+
+    def test_enqueue_dequeue(self):
+        e = enqueue("/q", "item")
+        d = dequeue("/q")
+        assert e.key == d.key == "/q"
+        assert e.args == ("item",)
+        assert not e.is_read and not d.is_read
+
+    def test_custom_operation_kwargs(self):
+        op = custom("scan", "table", 1, 2, is_read=True, limit=10, prefix="a")
+        assert op.name == "scan"
+        assert op.args == (1, 2)
+        assert op.arguments() == {"limit": 10, "prefix": "a"}
+
+    def test_describe(self):
+        assert read("k").describe() == "read(k)"
+        assert Operation(name="noop").describe() == "noop()"
+
+    def test_operations_are_hashable_and_comparable(self):
+        assert read("a") == read("a")
+        assert read("a") != read("b")
+        assert len({read("a"), read("a"), write("a", 1)}) == 2
+
+
+class TestViews:
+    def test_same_value(self):
+        a = View("x", WEAK)
+        b = View("x", STRONG)
+        c = View("y", STRONG)
+        assert a.same_value(b)
+        assert not a.same_value(c)
+
+    def test_defaults(self):
+        view = View("x", WEAK)
+        assert view.timestamp is None
+        assert not view.is_confirmation
+        assert view.metadata == {}
+
+    def test_metadata_is_per_instance(self):
+        a = View("x", WEAK)
+        b = View("y", WEAK)
+        a.metadata["k"] = 1
+        assert b.metadata == {}

@@ -1,0 +1,161 @@
+"""Tests for the Promise primitive."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidStateError, OperationError
+from repro.core.promise import Promise, PromiseState
+
+
+class TestLifecycle:
+    def test_starts_blocked(self):
+        promise = Promise()
+        assert promise.state is PromiseState.BLOCKED
+        assert not promise.is_done()
+
+    def test_resolve_sets_value(self):
+        promise = Promise()
+        promise.resolve(42)
+        assert promise.is_ready()
+        assert promise.value == 42
+
+    def test_reject_sets_error(self):
+        promise = Promise()
+        error = OperationError("nope")
+        promise.reject(error)
+        assert promise.is_failed()
+        assert promise.error is error
+
+    def test_value_on_blocked_raises(self):
+        with pytest.raises(InvalidStateError):
+            Promise().value
+
+    def test_value_on_failed_reraises(self):
+        promise = Promise()
+        promise.reject(OperationError("boom"))
+        with pytest.raises(OperationError):
+            promise.value
+
+    def test_double_resolve_rejected(self):
+        promise = Promise()
+        promise.resolve(1)
+        with pytest.raises(InvalidStateError):
+            promise.resolve(2)
+
+    def test_resolve_after_reject_rejected(self):
+        promise = Promise()
+        promise.reject(OperationError("x"))
+        with pytest.raises(InvalidStateError):
+            promise.resolve(1)
+
+
+class TestCallbacks:
+    def test_on_ready_after_resolve_fires_immediately(self):
+        promise = Promise.resolved("hello")
+        seen = []
+        promise.on_ready(seen.append)
+        assert seen == ["hello"]
+
+    def test_on_ready_before_resolve_fires_on_resolve(self):
+        promise = Promise()
+        seen = []
+        promise.on_ready(seen.append)
+        assert seen == []
+        promise.resolve("x")
+        assert seen == ["x"]
+
+    def test_multiple_ready_callbacks_all_fire(self):
+        promise = Promise()
+        seen = []
+        for i in range(3):
+            promise.on_ready(lambda v, i=i: seen.append((i, v)))
+        promise.resolve("v")
+        assert seen == [(0, "v"), (1, "v"), (2, "v")]
+
+    def test_on_error_fires(self):
+        promise = Promise()
+        seen = []
+        promise.on_error(seen.append)
+        error = OperationError("bad")
+        promise.reject(error)
+        assert seen == [error]
+
+    def test_error_callbacks_not_fired_on_resolve(self):
+        promise = Promise()
+        errors = []
+        promise.on_error(errors.append)
+        promise.resolve(1)
+        assert errors == []
+
+
+class TestThen:
+    def test_then_transforms_value(self):
+        result = Promise.resolved(2).then(lambda x: x * 10)
+        assert result.value == 20
+
+    def test_then_chains(self):
+        result = Promise.resolved(1).then(lambda x: x + 1).then(lambda x: x * 3)
+        assert result.value == 6
+
+    def test_then_flattens_promises(self):
+        result = Promise.resolved(5).then(lambda x: Promise.resolved(x + 1))
+        assert result.value == 6
+
+    def test_then_propagates_error(self):
+        failed = Promise.failed(OperationError("err")).then(lambda x: x)
+        assert failed.is_failed()
+
+    def test_then_captures_raised_exception(self):
+        def boom(_):
+            raise OperationError("inner")
+        result = Promise.resolved(1).then(boom)
+        assert result.is_failed()
+        assert isinstance(result.error, OperationError)
+
+    def test_then_on_pending_promise(self):
+        promise = Promise()
+        chained = promise.then(lambda x: x + 1)
+        assert not chained.is_done()
+        promise.resolve(9)
+        assert chained.value == 10
+
+
+class TestAll:
+    def test_all_empty(self):
+        assert Promise.all([]).value == []
+
+    def test_all_preserves_order(self):
+        p1, p2, p3 = Promise(), Promise(), Promise()
+        combined = Promise.all([p1, p2, p3])
+        p3.resolve("c")
+        p1.resolve("a")
+        assert not combined.is_done()
+        p2.resolve("b")
+        assert combined.value == ["a", "b", "c"]
+
+    def test_all_fails_on_first_error(self):
+        p1, p2 = Promise(), Promise()
+        combined = Promise.all([p1, p2])
+        p1.reject(OperationError("bad"))
+        assert combined.is_failed()
+
+    def test_all_with_already_resolved(self):
+        combined = Promise.all([Promise.resolved(1), Promise.resolved(2)])
+        assert combined.value == [1, 2]
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=20))
+def test_all_collects_every_value(values):
+    promises = [Promise() for _ in values]
+    combined = Promise.all(promises)
+    for promise, value in zip(promises, values):
+        promise.resolve(value)
+    if values:
+        assert combined.value == values
+    else:
+        assert combined.value == []
+
+
+@given(st.integers())
+def test_then_identity_law(value):
+    assert Promise.resolved(value).then(lambda x: x).value == value

@@ -1,0 +1,199 @@
+"""Tests for the speculate() combinator (Listing 3 semantics)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.consistency import STRONG, WEAK
+from repro.core.correctable import Correctable
+from repro.core.errors import OperationError
+from repro.core.promise import Promise
+from repro.core.speculation import SpeculationStats
+
+
+class TestConfirmedSpeculation:
+    def test_speculation_runs_on_preliminary(self):
+        source = Correctable()
+        calls = []
+        source.speculate(lambda v: calls.append(v) or f"out:{v}")
+        source.update("p", WEAK)
+        assert calls == ["p"]
+
+    def test_confirmed_speculation_closes_with_cached_output(self):
+        source = Correctable()
+        stats = SpeculationStats()
+        derived = source.speculate(lambda v: f"out:{v}", stats=stats)
+        source.update("same", WEAK)
+        source.close("same", STRONG)
+        assert derived.is_final()
+        assert derived.value() == "out:same"
+        assert stats.confirmed == 1
+        assert stats.misspeculations == 0
+
+    def test_function_not_rerun_when_confirmed(self):
+        source = Correctable()
+        calls = []
+        source.speculate(lambda v: calls.append(v) or v)
+        source.update("x", WEAK)
+        source.close("x", STRONG)
+        assert calls == ["x"]
+
+    def test_identical_consecutive_views_speculate_once(self):
+        source = Correctable()
+        calls = []
+        source.speculate(lambda v: calls.append(v) or v)
+        source.update("x", WEAK)
+        source.update("x", WEAK)
+        source.close("x", STRONG)
+        assert calls == ["x"]
+
+
+class TestMisspeculation:
+    def test_reruns_on_final_when_diverged(self):
+        source = Correctable()
+        stats = SpeculationStats()
+        calls = []
+        derived = source.speculate(lambda v: calls.append(v) or f"out:{v}",
+                                   stats=stats)
+        source.update("stale", WEAK)
+        source.close("fresh", STRONG)
+        assert calls == ["stale", "fresh"]
+        assert derived.value() == "out:fresh"
+        assert stats.misspeculations == 1
+        assert "stale" in stats.wasted_inputs
+
+    def test_abort_called_with_stale_input(self):
+        source = Correctable()
+        aborted = []
+        stats = SpeculationStats()
+        source.speculate(lambda v: v, abort_fn=aborted.append, stats=stats)
+        source.update("stale", WEAK)
+        source.close("fresh", STRONG)
+        assert aborted == ["stale"]
+        assert stats.aborts == 1
+
+    def test_no_abort_when_confirmed(self):
+        source = Correctable()
+        aborted = []
+        source.speculate(lambda v: v, abort_fn=aborted.append)
+        source.update("v", WEAK)
+        source.close("v", STRONG)
+        assert aborted == []
+
+    def test_no_preliminary_counts_as_plain_execution(self):
+        source = Correctable()
+        stats = SpeculationStats()
+        derived = source.speculate(lambda v: f"out:{v}", stats=stats)
+        source.close("only", STRONG)
+        assert derived.value() == "out:only"
+        assert stats.misspeculations == 0
+        assert stats.confirmed == 1
+
+
+class TestAsynchronousSpeculationWork:
+    def test_promise_returning_speculation(self):
+        source = Correctable()
+        pending = {}
+
+        def slow_work(value):
+            promise = Promise()
+            pending[value] = promise
+            return promise
+
+        derived = source.speculate(slow_work)
+        source.update("p", WEAK)
+        source.close("p", STRONG)
+        # The final view matched, but the speculative work is still running.
+        assert not derived.is_done()
+        pending["p"].resolve("done")
+        assert derived.value() == "done"
+
+    def test_correctable_returning_speculation(self):
+        source = Correctable()
+        inner = Correctable()
+        derived = source.speculate(lambda v: inner)
+        source.update("p", WEAK)
+        source.close("p", STRONG)
+        inner.close("inner-result", STRONG)
+        assert derived.value() == "inner-result"
+
+    def test_speculation_work_finishing_before_final(self):
+        source = Correctable()
+        derived = source.speculate(lambda v: f"fast:{v}")
+        source.update("p", WEAK)
+        assert not derived.is_done()
+        source.close("p", STRONG)
+        assert derived.value() == "fast:p"
+
+
+class TestSpeculationErrors:
+    def test_exception_in_speculation_fails_derived(self):
+        source = Correctable()
+
+        def boom(_):
+            raise OperationError("inner failure")
+
+        derived = source.speculate(boom)
+        source.update("p", WEAK)
+        source.close("p", STRONG)
+        assert derived.is_error()
+
+    def test_source_error_propagates(self):
+        source = Correctable()
+        derived = source.speculate(lambda v: v)
+        source.fail(OperationError("storage down"))
+        assert derived.is_error()
+
+
+class TestSpeculationStats:
+    def test_hit_rate(self):
+        stats = SpeculationStats(confirmed=3, misspeculations=1)
+        assert stats.hit_rate() == 0.75
+        assert stats.total_closed == 4
+
+    def test_hit_rate_empty(self):
+        assert SpeculationStats().hit_rate() == 0.0
+
+    def test_merge(self):
+        a = SpeculationStats(speculations_started=2, confirmed=1,
+                             misspeculations=1, aborts=1,
+                             wasted_inputs=["x"])
+        b = SpeculationStats(speculations_started=3, confirmed=3)
+        a.merge(b)
+        assert a.speculations_started == 5
+        assert a.confirmed == 4
+        assert a.misspeculations == 1
+        assert a.wasted_inputs == ["x"]
+
+
+@given(st.integers(), st.integers())
+def test_derived_always_reflects_final_input(preliminary, final):
+    """Whatever the preliminary was, the derived result is f(final)."""
+    source = Correctable()
+    stats = SpeculationStats()
+    derived = source.speculate(lambda v: ("result", v), stats=stats)
+    source.update(preliminary, WEAK)
+    source.close(final, STRONG)
+    assert derived.value() == ("result", final)
+    if preliminary == final:
+        assert stats.misspeculations == 0
+    else:
+        assert stats.misspeculations == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), max_size=6),
+       st.integers(min_value=0, max_value=3))
+def test_speculation_function_runs_once_per_distinct_input(views, final):
+    source = Correctable()
+    calls = []
+    source.speculate(lambda v: calls.append(v) or v)
+    for view in views:
+        source.update(view, WEAK)
+    source.close(final, STRONG)
+    # One call per distinct preliminary value, plus one for the final value
+    # if it never appeared as a preliminary.
+    expected = []
+    for view in views:
+        if view not in expected:
+            expected.append(view)
+    if final not in expected:
+        expected.append(final)
+    assert calls == expected

@@ -1,0 +1,191 @@
+"""Tests for latency recording, bandwidth probes, divergence, and tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.bandwidth import BandwidthProbe
+from repro.metrics.divergence import DivergenceCounter
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.summary import format_row, format_table
+from repro.sim.environment import SimEnvironment
+from repro.sim.node import Node
+from repro.sim.topology import Region
+
+
+class TestLatencyRecorder:
+    def test_mean(self):
+        recorder = LatencyRecorder()
+        recorder.extend([10, 20, 30])
+        assert recorder.mean() == 20
+        assert recorder.count == 3
+
+    def test_empty_summaries_are_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean() == 0
+        assert recorder.p99() == 0
+        assert recorder.minimum() == 0 and recorder.maximum() == 0
+        assert recorder.stddev() == 0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(1, 101))
+        assert recorder.p50() == pytest.approx(50.5)
+        assert recorder.percentile(100) == 100
+        assert recorder.p99() == pytest.approx(99.01)
+
+    def test_percentile_bounds_validated(self):
+        recorder = LatencyRecorder()
+        recorder.record(1)
+        with pytest.raises(ValueError):
+            recorder.percentile(0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(42)
+        assert recorder.p50() == 42 and recorder.p99() == 42
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.extend([1, 2])
+        b.extend([3, 4])
+        a.merge(b)
+        assert a.count == 4 and a.maximum() == 4
+
+    def test_stddev(self):
+        recorder = LatencyRecorder()
+        recorder.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert recorder.stddev() == pytest.approx(2.138, abs=0.01)
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder("reads")
+        recorder.record(5)
+        summary = recorder.summary()
+        assert summary["name"] == "reads"
+        assert summary["count"] == 1
+        assert summary["mean_ms"] == 5
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=200))
+    def test_percentiles_bounded_by_min_max(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        for p in (1, 25, 50, 75, 99, 100):
+            value = recorder.percentile(p)
+            assert recorder.minimum() <= value <= recorder.maximum()
+        assert recorder.p50() <= recorder.p99()
+
+
+class TestDivergenceCounter:
+    def test_record_matching(self):
+        counter = DivergenceCounter()
+        assert counter.record("a", "a") is False
+        assert counter.divergence_rate() == 0
+
+    def test_record_diverging(self):
+        counter = DivergenceCounter()
+        assert counter.record("a", "b") is True
+        counter.record("x", "x")
+        assert counter.divergence_rate() == pytest.approx(0.5)
+        assert counter.divergence_percent() == pytest.approx(50.0)
+
+    def test_missing_preliminary_not_counted(self):
+        counter = DivergenceCounter()
+        counter.record(None, "x", had_preliminary=False)
+        assert counter.total == 0
+        assert counter.missing_preliminary == 1
+
+    def test_record_outcome(self):
+        counter = DivergenceCounter()
+        counter.record_outcome(True)
+        counter.record_outcome(False)
+        counter.record_outcome(False, had_preliminary=False)
+        assert counter.diverged == 1 and counter.matched == 1
+        assert counter.missing_preliminary == 1
+
+    def test_merge(self):
+        a, b = DivergenceCounter(), DivergenceCounter()
+        a.record_outcome(True)
+        b.record_outcome(False)
+        a.merge(b)
+        assert a.total == 2
+
+    def test_empty_rate_is_zero(self):
+        assert DivergenceCounter().divergence_rate() == 0.0
+
+
+class _Sink(Node):
+    def handle_message(self, message):
+        pass
+
+
+class TestBandwidthProbe:
+    def _env_with_nodes(self):
+        env = SimEnvironment(seed=1)
+        a = _Sink("client", Region.IRL, env.network)
+        b = _Sink("server", Region.FRK, env.network)
+        c = _Sink("other", Region.VRG, env.network)
+        return env, a, b, c
+
+    def test_window_scoping(self):
+        env, a, b, _ = self._env_with_nodes()
+        env.network.send("client", "server", "x", size_bytes=100)
+        probe = BandwidthProbe(env.network, ["client"], ["server"])
+        probe.start()
+        env.network.send("client", "server", "x", size_bytes=40)
+        env.network.send("server", "client", "x", size_bytes=60)
+        probe.stop()
+        env.network.send("client", "server", "x", size_bytes=500)
+        assert probe.bytes_transferred() == 100
+
+    def test_only_selected_links_counted(self):
+        env, a, b, c = self._env_with_nodes()
+        probe = BandwidthProbe(env.network, ["client"], ["server"])
+        probe.start()
+        env.network.send("client", "other", "x", size_bytes=999)
+        env.network.send("client", "server", "x", size_bytes=10)
+        assert probe.bytes_transferred() == 10
+
+    def test_kilobytes_per_op(self):
+        env, a, b, _ = self._env_with_nodes()
+        probe = BandwidthProbe(env.network, ["client"], ["server"])
+        probe.start()
+        env.network.send("client", "server", "x", size_bytes=3000)
+        assert probe.kilobytes_per_op(3) == pytest.approx(1.0)
+        assert probe.kilobytes_per_op(0) == 0.0
+
+    def test_unstarted_probe_raises(self):
+        env, *_ = self._env_with_nodes()
+        probe = BandwidthProbe(env.network, ["client"], ["server"])
+        with pytest.raises(RuntimeError):
+            probe.stop()
+        with pytest.raises(RuntimeError):
+            probe.bytes_transferred()
+
+
+class TestTableFormatting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "value"],
+                             [["a", 1], ["longer-name", 2.5]],
+                             title="Title")
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        row = format_row([1.23456, "x"], [8, 3])
+        assert "1.23" in row
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table

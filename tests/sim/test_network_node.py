@@ -1,0 +1,237 @@
+"""Tests for the network, message accounting, nodes, and processing queues."""
+
+import pytest
+
+from repro.sim.environment import SimEnvironment
+from repro.sim.network import MESSAGE_HEADER_BYTES, Message, estimate_payload_size
+from repro.sim.node import Node, ProcessingQueue
+from repro.sim.scheduler import Scheduler
+from repro.sim.topology import Region, Topology
+
+
+class Recorder(Node):
+    """A node that records every message it receives."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append(message)
+
+
+class Echo(Node):
+    """A node with a dispatching handler (``on_ping``)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pings = 0
+
+    def on_ping(self, message):
+        self.pings += 1
+        self.send(message.src, "pong", {"n": self.pings})
+
+
+def _make_env():
+    return SimEnvironment(seed=5, topology=Topology(jitter_fraction=0.0))
+
+
+class TestDelivery:
+    def test_message_delivered_after_one_way_latency(self):
+        env = _make_env()
+        a = Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.FRK, env.network)
+        a.send("b", "hello", {"x": 1})
+        env.run_until_idle()
+        assert len(b.received) == 1
+        assert env.now() == pytest.approx(10.0)
+
+    def test_same_region_latency_is_small(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.IRL, env.network)
+        env.network.send("a", "b", "hi")
+        env.run_until_idle()
+        assert env.now() == pytest.approx(1.0)
+        assert len(b.received) == 1
+
+    def test_same_host_latency_is_loopback(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network, host="h1")
+        Recorder("b", Region.IRL, env.network, host="h1")
+        env.network.send("a", "b", "hi")
+        env.run_until_idle()
+        assert env.now() == pytest.approx(0.15)
+
+    def test_unknown_destination_raises(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        with pytest.raises(KeyError):
+            env.network.send("a", "ghost", "hi")
+
+    def test_duplicate_node_name_rejected(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        with pytest.raises(ValueError):
+            Recorder("a", Region.FRK, env.network)
+
+    def test_dispatch_by_kind(self):
+        env = _make_env()
+        client = Recorder("client", Region.IRL, env.network)
+        echo = Echo("echo", Region.FRK, env.network)
+        client.send("echo", "ping")
+        env.run_until_idle()
+        assert echo.pings == 1
+        assert client.received[0].kind == "pong"
+
+    def test_missing_handler_raises(self):
+        env = _make_env()
+        Echo("echo", Region.FRK, env.network)
+        Recorder("client", Region.IRL, env.network)
+        env.network.send("client", "echo", "unknown_kind")
+        with pytest.raises(NotImplementedError):
+            env.run_until_idle()
+
+
+class TestFaults:
+    def test_crashed_node_drops_messages(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.FRK, env.network)
+        b.crash()
+        env.network.send("a", "b", "hi")
+        env.run_until_idle()
+        assert b.received == []
+        assert env.network.messages_dropped == 1
+
+    def test_recovered_node_receives_again(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.FRK, env.network)
+        b.crash()
+        b.recover()
+        env.network.send("a", "b", "hi")
+        env.run_until_idle()
+        assert len(b.received) == 1
+
+    def test_partition_drops_both_directions(self):
+        env = _make_env()
+        a = Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.FRK, env.network)
+        env.network.partition("a", "b")
+        env.network.send("a", "b", "x")
+        env.network.send("b", "a", "y")
+        env.run_until_idle()
+        assert a.received == [] and b.received == []
+
+    def test_heal_restores_delivery(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.FRK, env.network)
+        env.network.partition("a", "b")
+        env.network.heal("a", "b")
+        env.network.send("a", "b", "x")
+        env.run_until_idle()
+        assert len(b.received) == 1
+
+    def test_crash_mid_flight_drops_message(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        b = Recorder("b", Region.FRK, env.network)
+        env.network.send("a", "b", "x")
+        b.crash()
+        env.run_until_idle()
+        assert b.received == []
+
+
+class TestAccounting:
+    def test_bytes_counted_per_link(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        Recorder("b", Region.FRK, env.network)
+        env.network.send("a", "b", "x", size_bytes=100)
+        env.network.send("b", "a", "y", size_bytes=50)
+        assert env.network.link_stats("a", "b").bytes == 100
+        assert env.network.bytes_between("a", "b") == 150
+        assert env.network.bytes_touching("a") == 150
+        assert env.network.total_bytes() == 150
+
+    def test_default_size_includes_header(self):
+        message = Message(src="a", dst="b", kind="k", payload={"key": "abc"})
+        assert message.size_bytes >= MESSAGE_HEADER_BYTES
+
+    def test_estimate_payload_size(self):
+        assert estimate_payload_size(None) == 0
+        assert estimate_payload_size("abcd") == 4
+        assert estimate_payload_size(b"12345") == 5
+        assert estimate_payload_size(7) == 8
+        assert estimate_payload_size(["ab", "cd"]) == 4
+        assert estimate_payload_size({"k": "vv"}) == 3
+
+    def test_reset_stats(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        Recorder("b", Region.FRK, env.network)
+        env.network.send("a", "b", "x", size_bytes=10)
+        env.network.reset_stats()
+        assert env.network.total_bytes() == 0
+        assert env.network.messages_sent == 0
+
+    def test_partitioned_messages_still_charged(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        Recorder("b", Region.FRK, env.network)
+        env.network.partition("a", "b")
+        env.network.send("a", "b", "x", size_bytes=77)
+        assert env.network.bytes_between("a", "b") == 77
+
+
+class TestProcessingQueue:
+    def test_idle_queue_serves_immediately(self):
+        scheduler = Scheduler()
+        queue = ProcessingQueue(scheduler)
+        done = []
+        queue.submit(2.0, done.append, "a")
+        scheduler.run_until_idle()
+        assert done == ["a"]
+        assert scheduler.now() == pytest.approx(2.0)
+
+    def test_fifo_backlog_accumulates_delay(self):
+        scheduler = Scheduler()
+        queue = ProcessingQueue(scheduler)
+        finish_times = []
+        for _ in range(3):
+            queue.submit(5.0, lambda: finish_times.append(scheduler.now()))
+        scheduler.run_until_idle()
+        assert finish_times == [5.0, 10.0, 15.0]
+
+    def test_queue_delay_reflects_backlog(self):
+        scheduler = Scheduler()
+        queue = ProcessingQueue(scheduler)
+        queue.submit(5.0, lambda: None)
+        queue.submit(5.0, lambda: None)
+        assert queue.queue_delay() == pytest.approx(10.0)
+
+    def test_negative_service_time_rejected(self):
+        queue = ProcessingQueue(Scheduler())
+        with pytest.raises(ValueError):
+            queue.submit(-1.0, lambda: None)
+
+    def test_utilization(self):
+        scheduler = Scheduler()
+        queue = ProcessingQueue(scheduler)
+        queue.submit(5.0, lambda: None)
+        scheduler.run_until_idle()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run_until_idle()
+        assert queue.utilization(10.0) == pytest.approx(0.5)
+        assert queue.jobs_processed == 1
+
+    def test_node_process_uses_own_service_time(self):
+        env = _make_env()
+        node = Recorder("n", Region.IRL, env.network, service_time_ms=3.0)
+        done = []
+        node.process(lambda: done.append(env.now()))
+        node.process(lambda: done.append(env.now()), service_time_ms=1.0)
+        env.run_until_idle()
+        assert done == [3.0, 4.0]

@@ -1,0 +1,159 @@
+"""Tests for the simulated clock and event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import Clock
+from repro.sim.scheduler import Scheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=10.0).now() == 10.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_advance_backwards_raises(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, scheduler):
+        order = []
+        scheduler.schedule(10, order.append, "b")
+        scheduler.schedule(5, order.append, "a")
+        scheduler.schedule(20, order.append, "c")
+        scheduler.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_with_events(self, scheduler):
+        times = []
+        scheduler.schedule(7.5, lambda: times.append(scheduler.now()))
+        scheduler.run_until_idle()
+        assert times == [7.5]
+        assert scheduler.now() == 7.5
+
+    def test_same_time_events_run_in_submission_order(self, scheduler):
+        order = []
+        for name in "abcde":
+            scheduler.schedule(1.0, order.append, name)
+        scheduler.run_until_idle()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, scheduler):
+        scheduler.schedule(5, lambda: None)
+        scheduler.run_until_idle()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self, scheduler):
+        seen = []
+        scheduler.schedule(3, lambda: scheduler.call_soon(seen.append,
+                                                          scheduler.now()))
+        scheduler.run_until_idle()
+        assert seen == [3.0]
+
+    def test_cancelled_event_does_not_run(self, scheduler):
+        seen = []
+        event = scheduler.schedule(1, seen.append, "x")
+        event.cancel()
+        scheduler.run_until_idle()
+        assert seen == []
+
+    def test_events_scheduled_from_events(self, scheduler):
+        seen = []
+
+        def first():
+            seen.append("first")
+            scheduler.schedule(5, lambda: seen.append("second"))
+
+        scheduler.schedule(1, first)
+        scheduler.run_until_idle()
+        assert seen == ["first", "second"]
+        assert scheduler.now() == 6.0
+
+    def test_kwargs_passed(self, scheduler):
+        seen = {}
+        scheduler.schedule(1, seen.update, answer=42)
+        scheduler.run_until_idle()
+        assert seen == {"answer": 42}
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self, scheduler):
+        seen = []
+        scheduler.schedule(5, seen.append, "early")
+        scheduler.schedule(50, seen.append, "late")
+        scheduler.run(until=10)
+        assert seen == ["early"]
+        assert scheduler.now() == 10
+        assert scheduler.pending() == 1
+
+    def test_run_resumes_after_until(self, scheduler):
+        seen = []
+        scheduler.schedule(50, seen.append, "late")
+        scheduler.run(until=10)
+        scheduler.run_until_idle()
+        assert seen == ["late"]
+
+    def test_run_max_events(self, scheduler):
+        seen = []
+        for i in range(10):
+            scheduler.schedule(i, seen.append, i)
+        scheduler.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self, scheduler):
+        assert scheduler.step() is False
+
+    def test_step_runs_one_event(self, scheduler):
+        seen = []
+        scheduler.schedule(1, seen.append, 1)
+        scheduler.schedule(2, seen.append, 2)
+        assert scheduler.step() is True
+        assert seen == [1]
+
+    def test_runaway_guard(self, scheduler):
+        def reschedule():
+            scheduler.schedule(1, reschedule)
+
+        scheduler.schedule(1, reschedule)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until_idle(max_events=100)
+
+    def test_events_executed_counter(self, scheduler):
+        for i in range(5):
+            scheduler.schedule(i, lambda: None)
+        scheduler.run_until_idle()
+        assert scheduler.events_executed == 5
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1000,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=50))
+def test_execution_times_are_monotone(delays):
+    scheduler = Scheduler()
+    observed = []
+    for delay in delays:
+        scheduler.schedule(delay, lambda: observed.append(scheduler.now()))
+    scheduler.run_until_idle()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+    assert scheduler.now() == max(delays)

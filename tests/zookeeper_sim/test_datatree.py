@@ -1,0 +1,114 @@
+"""Tests for the znode data tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zookeeper_sim.datatree import DataTree, NoNodeError, NodeExistsError
+
+
+class TestCreateGet:
+    def test_create_and_get(self):
+        tree = DataTree()
+        tree.create("/a", data="hello")
+        assert tree.get("/a") == "hello"
+        assert tree.exists("/a")
+
+    def test_create_nested(self):
+        tree = DataTree()
+        tree.create("/a")
+        tree.create("/a/b", data=1)
+        assert tree.get("/a/b") == 1
+        assert tree.get_children("/a") == ["b"]
+
+    def test_create_missing_parent_raises(self):
+        with pytest.raises(NoNodeError):
+            DataTree().create("/a/b")
+
+    def test_duplicate_create_raises(self):
+        tree = DataTree()
+        tree.create("/a")
+        with pytest.raises(NodeExistsError):
+            tree.create("/a")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            DataTree().create("no-slash")
+
+    def test_root_cannot_be_created_or_deleted(self):
+        tree = DataTree()
+        with pytest.raises(ValueError):
+            tree.create("/")
+        with pytest.raises(ValueError):
+            tree.delete("/")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NoNodeError):
+            DataTree().get("/nope")
+
+    def test_set_updates_data_and_version(self):
+        tree = DataTree()
+        tree.create("/a", data=1)
+        tree.set("/a", 2)
+        assert tree.get("/a") == 2
+
+
+class TestSequentialNodes:
+    def test_sequence_suffix_and_order(self):
+        tree = DataTree()
+        tree.create("/q")
+        first = tree.create("/q/item-", data="a", sequential=True)
+        second = tree.create("/q/item-", data="b", sequential=True)
+        assert first == "/q/item-0000000000"
+        assert second == "/q/item-0000000001"
+        assert tree.get_children("/q") == ["item-0000000000", "item-0000000001"]
+
+    def test_sequence_survives_deletion(self):
+        tree = DataTree()
+        tree.create("/q")
+        first = tree.create("/q/item-", sequential=True)
+        tree.delete(first)
+        second = tree.create("/q/item-", sequential=True)
+        assert second.endswith("0000000001")
+
+    def test_children_sorted_lexicographically(self):
+        tree = DataTree()
+        tree.create("/q")
+        for _ in range(12):
+            tree.create("/q/item-", sequential=True)
+        children = tree.get_children("/q")
+        assert children == sorted(children)
+        assert tree.child_count("/q") == 12
+
+
+class TestDelete:
+    def test_delete_removes_node(self):
+        tree = DataTree()
+        tree.create("/a", data=1)
+        tree.delete("/a")
+        assert not tree.exists("/a")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(NoNodeError):
+            DataTree().delete("/a")
+
+    def test_delete_non_leaf_rejected(self):
+        tree = DataTree()
+        tree.create("/a")
+        tree.create("/a/b")
+        with pytest.raises(ValueError):
+            tree.delete("/a")
+
+
+@given(st.integers(min_value=1, max_value=40))
+def test_fifo_order_matches_insertion_order(count):
+    """Dequeuing by lowest child name yields items in insertion order."""
+    tree = DataTree()
+    tree.create("/q")
+    for i in range(count):
+        tree.create("/q/item-", data=i, sequential=True)
+    drained = []
+    while tree.child_count("/q"):
+        head = tree.get_children("/q")[0]
+        drained.append(tree.get(f"/q/{head}"))
+        tree.delete(f"/q/{head}")
+    assert drained == list(range(count))
