@@ -13,6 +13,14 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_BENCHMARKS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``slow`` so `-m "not slow"` runs in seconds."""
+    for item in items:
+        if _BENCHMARKS_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

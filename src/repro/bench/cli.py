@@ -17,9 +17,9 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.bench import (
     format_fig05, format_fig06, format_fig07, format_fig08, format_fig09,
-    format_fig10, format_fig11, format_fig12,
+    format_fig10, format_fig11, format_fig12, format_fig13,
     run_fig05, run_fig06, run_fig07, run_fig08, run_fig09, run_fig10,
-    run_fig11, run_fig12,
+    run_fig11, run_fig12, run_fig13_all,
 )
 
 #: figure name -> (runner, formatter, full-scale kwargs, quick kwargs).
@@ -53,6 +53,14 @@ _FIGURES: Dict[str, tuple] = {
                    profile_count=100, ref_count=200)),
     "fig12": (run_fig12, format_fig12,
               dict(stock=500), dict(stock=120)),
+    "fig13": (run_fig13_all, format_fig13,
+              dict(),
+              dict(scenarios=("baseline", "replica-crash", "wan-partition"),
+                   threads_per_client=2, duration_ms=6_000.0,
+                   warmup_ms=1_500.0, cooldown_ms=500.0, record_count=150,
+                   zk=dict(duration_ms=9_000.0, crash_at_ms=2_500.0,
+                           crash_duration_ms=4_000.0, threads_per_client=1,
+                           queue_depth=1_500))),
 }
 
 

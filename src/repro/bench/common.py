@@ -62,8 +62,14 @@ def build_cassandra_scenario(seed: int = 0,
                              contacts: Optional[Dict[str, str]] = None,
                              config: Optional[CassandraConfig] = None,
                              replica_regions: Optional[Sequence[str]] = None,
-                             preload: bool = True) -> CassandraScenario:
-    """Build a 3-replica cluster (FRK/IRL/VRG by default) with clients and data."""
+                             preload: bool = True,
+                             client_fallbacks: bool = False) -> CassandraScenario:
+    """Build a 3-replica cluster (FRK/IRL/VRG by default) with clients and data.
+
+    ``client_fallbacks=True`` gives every client the remaining replicas as
+    backup coordinators (used by the fault experiments together with
+    ``CassandraConfig.fault_tolerant()``).
+    """
     env = SimEnvironment(seed=seed)
     config = config if config is not None else CassandraConfig(
         value_size_bytes=value_size_bytes)
@@ -78,7 +84,8 @@ def build_cassandra_scenario(seed: int = 0,
     for region in client_regions:
         contact_region = contacts.get(region, Region.FRK)
         client = cluster.add_client(f"ycsb-client-{region}", region=region,
-                                    contact_region=contact_region)
+                                    contact_region=contact_region,
+                                    fallbacks=client_fallbacks)
         scenario.clients[region] = client
     return scenario
 
@@ -96,17 +103,26 @@ def make_kv_issue(client: CassandraClient, system: str,
     read_quorum = profile["r"]
     icg = profile["icg"]
 
+    def _fault_keys(resp: Dict[str, Any]) -> Dict[str, Any]:
+        # Recovery outcomes, passed through for the fault experiments;
+        # always False on a healthy run, so the happy-path figures are
+        # unaffected (the runner ignores falsy entries).
+        return {"degraded": bool(resp.get("degraded", False)),
+                "failed": "error" in resp}
+
     def _issue(op_type: str, key: str, value: Optional[str],
                done: Callable[[Dict[str, Any]], None]) -> None:
         if op_type == "update":
             client.write(key, value, w=write_quorum,
                          on_final=lambda resp: done(
-                             {"final_latency_ms": resp["latency_ms"]}))
+                             {"final_latency_ms": resp["latency_ms"],
+                              **_fault_keys(resp)}))
             return
         if not icg:
             client.read(key, r=read_quorum, icg=False,
                         on_final=lambda resp: done(
-                            {"final_latency_ms": resp["latency_ms"]}))
+                            {"final_latency_ms": resp["latency_ms"],
+                             **_fault_keys(resp)}))
             return
 
         state: Dict[str, Any] = {"prelim_value": None, "prelim_latency": None,
@@ -118,7 +134,9 @@ def make_kv_issue(client: CassandraClient, system: str,
             state["prelim_latency"] = resp["latency_ms"]
 
         def _on_final(resp: Dict[str, Any]) -> None:
-            diverged = (state["had_prelim"]
+            failed = "error" in resp
+            diverged = (not failed
+                        and state["had_prelim"]
                         and state["prelim_value"] != resp["value"]
                         and not resp.get("is_confirmation", False))
             done({
@@ -126,6 +144,7 @@ def make_kv_issue(client: CassandraClient, system: str,
                 "preliminary_latency_ms": state["prelim_latency"],
                 "had_preliminary": state["had_prelim"],
                 "diverged": diverged,
+                **_fault_keys(resp),
             })
 
         client.read(key, r=read_quorum, icg=True,

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cassandra_sim.config import CassandraConfig
+from repro.sim.failover import FailoverMixin
 from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
 from repro.sim.node import Node
 
@@ -30,20 +31,42 @@ class _PendingRequest:
     preliminary_value: Any = None
     preliminary_seen: bool = False
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Failover state: request payload for re-sends, retry count, and the
+    #: pending client-side timeout event.
+    request: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 0
+    attempts: int = 0
+    rotation_index: int = 0
+    timeout_event: Optional[Any] = None
 
 
-class CassandraClient(Node):
-    """A client application node issuing operations against one coordinator."""
+class CassandraClient(FailoverMixin, Node):
+    """A client application node issuing operations against one coordinator.
+
+    With ``config.client_timeout_ms`` set and ``fallback_contacts`` given, a
+    request that receives no final response in time is re-issued to the next
+    coordinator in the rotation — which is how sessions survive a crashed or
+    partitioned-away contact replica.
+    """
 
     def __init__(self, name: str, region: str, network: Network,
-                 contact: str, config: CassandraConfig) -> None:
+                 contact: str, config: CassandraConfig,
+                 fallback_contacts: Optional[Sequence[str]] = None) -> None:
         super().__init__(name, region, network)
         self.contact = contact
         self.config = config
+        self._contacts: List[str] = [contact] + [
+            c for c in (fallback_contacts or []) if c != contact]
         self._req_ids = itertools.count(1)
         self._pending: Dict[int, _PendingRequest] = {}
         self.reads_sent = 0
         self.writes_sent = 0
+        # Fault-path instrumentation (stays zero with timeouts disabled).
+        self.retries = 0
+        self.failed_requests = 0
+        #: Preliminary views that arrived after the final response — the
+        #: client-side analogue of ``Correctable.discarded_updates``.
+        self.late_preliminaries = 0
 
     # -- issuing operations -------------------------------------------------
     def read(self, key: str, r: int = 1, icg: bool = False,
@@ -52,12 +75,13 @@ class CassandraClient(Node):
         """Issue a read with read-quorum ``r``; returns the request id."""
         req_id = next(self._req_ids)
         self.reads_sent += 1
-        self._pending[req_id] = _PendingRequest(
+        pending = _PendingRequest(
             kind="read", sent_at=self.scheduler.now(),
-            on_preliminary=on_preliminary, on_final=on_final)
-        self.send(self.contact, "client_read",
-                  {"req_id": req_id, "key": key, "r": r, "icg": icg},
-                  size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes + 8)
+            on_preliminary=on_preliminary, on_final=on_final,
+            request={"req_id": req_id, "key": key, "r": r, "icg": icg},
+            size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes + 8)
+        self._pending[req_id] = pending
+        self._dispatch(pending, "client_read")
         return req_id
 
     def write(self, key: str, value: Any, w: int = 1,
@@ -65,23 +89,52 @@ class CassandraClient(Node):
         """Issue a write with write-quorum ``w``; returns the request id."""
         req_id = next(self._req_ids)
         self.writes_sent += 1
-        self._pending[req_id] = _PendingRequest(
-            kind="write", sent_at=self.scheduler.now(), on_final=on_final)
         # A YCSB update writes a single field, so the request is sized by the
         # written payload (reads, in contrast, return the whole record and are
         # sized by the replica using ``config.value_size_bytes`` as a floor).
         value_bytes = estimate_payload_size(value)
-        self.send(self.contact, "client_write",
-                  {"req_id": req_id, "key": key, "value": value, "w": w},
-                  size_bytes=(MESSAGE_HEADER_BYTES + self.config.key_size_bytes
-                              + value_bytes))
+        pending = _PendingRequest(
+            kind="write", sent_at=self.scheduler.now(), on_final=on_final,
+            request={"req_id": req_id, "key": key, "value": value, "w": w},
+            size_bytes=(MESSAGE_HEADER_BYTES + self.config.key_size_bytes
+                        + value_bytes))
+        self._pending[req_id] = pending
+        self._dispatch(pending, "client_write")
         return req_id
+
+    # -- dispatch & failover (see FailoverMixin) ------------------------------
+    def _message_kind(self, pending: _PendingRequest) -> str:
+        return "client_read" if pending.kind == "read" else "client_write"
+
+    def _dispatch(self, pending: _PendingRequest, message_kind: str) -> None:
+        contact = self._contacts[pending.rotation_index % len(self._contacts)]
+        self.send(contact, message_kind, dict(pending.request),
+                  size_bytes=pending.size_bytes)
+        self._arm_request_timeout(pending, pending.request["req_id"],
+                                  self.config.client_timeout_ms)
+
+    def _redispatch(self, pending: _PendingRequest) -> None:
+        self._dispatch(pending, self._message_kind(pending))
+
+    def _failover_retries(self) -> int:
+        return self.config.client_retries
+
+    def _timeout_failure_response(self, pending: _PendingRequest) -> Dict[str, Any]:
+        return {
+            "value": None,
+            "found": False,
+            "timestamp": None,
+            "is_confirmation": False,
+            "error": "client timeout: no coordinator responded",
+            "latency_ms": self.scheduler.now() - pending.sent_at,
+        }
 
     # -- responses ---------------------------------------------------------------
     def on_read_preliminary(self, message: Message) -> None:
         payload = message.payload
         pending = self._pending.get(payload["req_id"])
         if pending is None:
+            self.late_preliminaries += 1
             return
         pending.preliminary_seen = True
         pending.preliminary_value = payload["value"]
@@ -100,6 +153,7 @@ class CassandraClient(Node):
         pending = self._pending.pop(payload["req_id"], None)
         if pending is None:
             return
+        self._settle(pending)
         is_confirmation = bool(payload.get("is_confirmation", False))
         value = payload["value"]
         if is_confirmation:
@@ -112,6 +166,29 @@ class CassandraClient(Node):
                 "timestamp": payload["timestamp"],
                 "is_confirmation": is_confirmation,
                 "matches_preliminary": payload.get("matches_preliminary"),
+                "degraded": bool(payload.get("degraded", False)),
+                "latency_ms": self.scheduler.now() - pending.sent_at,
+            })
+
+    def on_read_error(self, message: Message) -> None:
+        self._fail_pending(message.payload)
+
+    def on_write_error(self, message: Message) -> None:
+        self._fail_pending(message.payload)
+
+    def _fail_pending(self, payload: Dict[str, Any]) -> None:
+        pending = self._pending.pop(payload["req_id"], None)
+        if pending is None:
+            return
+        self._settle(pending)
+        self.failed_requests += 1
+        if pending.on_final is not None:
+            pending.on_final({
+                "value": None,
+                "found": False,
+                "timestamp": None,
+                "is_confirmation": False,
+                "error": payload.get("error", "storage error"),
                 "latency_ms": self.scheduler.now() - pending.sent_at,
             })
 
@@ -120,11 +197,13 @@ class CassandraClient(Node):
         pending = self._pending.pop(payload["req_id"], None)
         if pending is None:
             return
+        self._settle(pending)
         if pending.on_final is not None:
             pending.on_final({
                 "value": True,
                 "found": True,
                 "timestamp": payload.get("timestamp"),
                 "is_confirmation": False,
+                "degraded": bool(payload.get("degraded", False)),
                 "latency_ms": self.scheduler.now() - pending.sent_at,
             })

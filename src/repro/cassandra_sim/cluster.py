@@ -50,11 +50,22 @@ class CassandraCluster:
 
     # -- clients -----------------------------------------------------------------
     def add_client(self, name: str, region: str = Region.IRL,
-                   contact_region: str = Region.FRK) -> CassandraClient:
-        """Create a client in ``region`` connected to the replica in ``contact_region``."""
+                   contact_region: str = Region.FRK,
+                   fallbacks: bool = False) -> CassandraClient:
+        """Create a client in ``region`` connected to the replica in ``contact_region``.
+
+        ``fallbacks=True`` hands the client the remaining replicas as backup
+        coordinators so a client-side timeout can fail over (used by the
+        fault experiments together with ``config.client_timeout_ms``).
+        """
         contact = self.replica_in(contact_region)
+        fallback_contacts = None
+        if fallbacks:
+            fallback_contacts = [r.name for r in self.replicas
+                                 if r.name != contact.name]
         client = CassandraClient(name, region, self.env.network,
-                                 contact.name, self.config)
+                                 contact.name, self.config,
+                                 fallback_contacts=fallback_contacts)
         self._clients.append(client)
         return client
 

@@ -37,7 +37,45 @@ class CassandraConfig:
     confirmation_optimization: bool = False
     #: Whether quorum reads repair stale replicas afterwards.
     read_repair: bool = False
+    #: Coordinator-side timeout for assembling a read quorum (ms); 0 disables
+    #: timeouts entirely, which is the fault-free behaviour the paper's
+    #: happy-path figures assume.
+    read_timeout_ms: float = 0.0
+    #: Coordinator-side timeout for assembling a write quorum (ms); 0 disables.
+    write_timeout_ms: float = 0.0
+    #: How many times the coordinator re-solicits missing replicas before
+    #: giving up on the requested quorum.
+    coordinator_retries: int = 1
+    #: After the retries are exhausted, whether to answer the client with the
+    #: responses gathered so far (a *downgraded* quorum) instead of an error.
+    downgrade_on_timeout: bool = True
+    #: Client-side timeout for one request (ms); 0 disables.  On expiry the
+    #: client re-issues the request to a fallback coordinator (if it has any)
+    #: and eventually reports an error.
+    client_timeout_ms: float = 0.0
+    #: How many times the client re-issues a timed-out request.
+    client_retries: int = 2
 
     def quorum(self) -> int:
         """Majority quorum size for this replication factor."""
         return self.replication_factor // 2 + 1
+
+    @classmethod
+    def fault_tolerant(cls, **overrides) -> "CassandraConfig":
+        """A configuration with the recovery paths enabled.
+
+        Used by the fault experiments: coordinator timeouts with one retry
+        then downgrade, client-side failover, and read repair so replicas
+        reconverge after a crash or partition heals.
+        """
+        defaults = dict(
+            read_repair=True,
+            read_timeout_ms=250.0,
+            write_timeout_ms=250.0,
+            coordinator_retries=1,
+            downgrade_on_timeout=True,
+            client_timeout_ms=1_000.0,
+            client_retries=2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

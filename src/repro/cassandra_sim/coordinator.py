@@ -10,7 +10,7 @@ client when the quorum completes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cassandra_sim.versions import VersionedValue, resolve
 
@@ -34,6 +34,10 @@ class ReadSession:
     final_sent: bool = False
     #: Replicas the coordinator asked for data (including itself when local).
     contacted: List[str] = field(default_factory=list)
+    #: Timeout handling: retries performed so far and the pending timeout
+    #: event (a :class:`repro.sim.scheduler.Event`, cancellable).
+    attempts: int = 0
+    timeout_event: Optional[Any] = None
 
     def record(self, replica: str, version: Optional[VersionedValue]) -> None:
         self.responses[replica] = version
@@ -70,6 +74,8 @@ class WriteSession:
     started_at: float
     acks: List[str] = field(default_factory=list)
     acked_client: bool = False
+    attempts: int = 0
+    timeout_event: Optional[Any] = None
 
     def record_ack(self, replica: str) -> None:
         if replica not in self.acks:

@@ -49,6 +49,13 @@ class CassandraReplica(Node):
         self.writes_coordinated = 0
         self.preliminaries_flushed = 0
         self.confirmations_sent = 0
+        # Fault-path instrumentation (stays zero with timeouts disabled).
+        self.read_retries = 0
+        self.write_retries = 0
+        self.reads_downgraded = 0
+        self.writes_downgraded = 0
+        self.reads_failed = 0
+        self.writes_failed = 0
 
     # -- helpers --------------------------------------------------------------
     def _other_replicas_by_distance(self, key: str) -> List[str]:
@@ -108,6 +115,8 @@ class CassandraReplica(Node):
                       size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes)
 
         self._maybe_finish_read(session)
+        if not session.final_sent:
+            self._arm_read_timeout(session)
 
     def _flush_preliminary(self, session: ReadSession) -> None:
         if session.final_sent or session.preliminary_sent:
@@ -173,9 +182,60 @@ class CassandraReplica(Node):
                                   + self._value_bytes(version)))
         self._maybe_finish_read(session)
 
+    # -- read timeouts (retry / downgrade) -------------------------------------
+    def _arm_read_timeout(self, session: ReadSession) -> None:
+        if self.config.read_timeout_ms <= 0:
+            return
+        session.timeout_event = self.scheduler.schedule(
+            self.config.read_timeout_ms, self._on_read_timeout,
+            session.session_id)
+
+    def _on_read_timeout(self, session_id: int) -> None:
+        session = self._read_sessions.get(session_id)
+        if session is None or session.final_sent or not self.alive:
+            return
+        session.timeout_event = None
+        if session.attempts < self.config.coordinator_retries:
+            session.attempts += 1
+            self.read_retries += 1
+            # Re-solicit every replica that has not answered yet — including
+            # ones beyond the original quorum fan-out, so the read can route
+            # around a crashed or partitioned replica.
+            for replica_name in self._other_replicas_by_distance(session.key):
+                if replica_name in session.responses:
+                    continue
+                if replica_name not in session.contacted:
+                    session.contacted.append(replica_name)
+                self.send(replica_name, "read_req",
+                          {"session_id": session.session_id, "key": session.key},
+                          size_bytes=(MESSAGE_HEADER_BYTES
+                                      + self.config.key_size_bytes))
+            self._arm_read_timeout(session)
+            return
+        # Retries exhausted: downgrade to the responses gathered so far, or
+        # report the failure to the client.
+        if self.config.downgrade_on_timeout and session.responses:
+            self.reads_downgraded += 1
+            self._finish_read(session, degraded=True)
+            return
+        self.reads_failed += 1
+        session.final_sent = True
+        self.send(session.client, "read_error",
+                  {"req_id": session.req_id,
+                   "error": "read timeout: no replica responded"},
+                  size_bytes=(MESSAGE_HEADER_BYTES
+                              + self.config.response_overhead_bytes))
+        del self._read_sessions[session.session_id]
+
     def _maybe_finish_read(self, session: ReadSession) -> None:
         if session.final_sent or not session.have_quorum():
             return
+        self._finish_read(session, degraded=False)
+
+    def _finish_read(self, session: ReadSession, degraded: bool) -> None:
+        if session.timeout_event is not None:
+            session.timeout_event.cancel()
+            session.timeout_event = None
         session.final_sent = True
         newest = session.resolved()
         matches_preliminary = (
@@ -194,7 +254,8 @@ class CassandraReplica(Node):
                        "found": newest is not None,
                        "value": None,
                        "timestamp": newest.timestamp if newest else None,
-                       "matches_preliminary": True}
+                       "matches_preliminary": True,
+                       "degraded": degraded}
         else:
             size = (MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes
                     + self._value_bytes(newest))
@@ -203,7 +264,8 @@ class CassandraReplica(Node):
                        "found": newest is not None,
                        "value": newest.value if newest else None,
                        "timestamp": newest.timestamp if newest else None,
-                       "matches_preliminary": matches_preliminary}
+                       "matches_preliminary": matches_preliminary,
+                       "degraded": degraded}
         self.send(session.client, "read_final", payload, size_bytes=size)
 
         if self.config.read_repair and newest is not None:
@@ -255,6 +317,8 @@ class CassandraReplica(Node):
                                   + self.config.key_size_bytes
                                   + self._value_bytes(session.version)))
         self._maybe_finish_write(session)
+        if not session.acked_client:
+            self._arm_write_timeout(session)
 
     def on_write_req(self, message: Message) -> None:
         payload = message.payload
@@ -277,14 +341,65 @@ class CassandraReplica(Node):
         session.record_ack(payload["replica"])
         self._maybe_finish_write(session)
 
+    # -- write timeouts (retry / downgrade) ----------------------------------
+    def _arm_write_timeout(self, session: WriteSession) -> None:
+        if self.config.write_timeout_ms <= 0:
+            return
+        session.timeout_event = self.scheduler.schedule(
+            self.config.write_timeout_ms, self._on_write_timeout,
+            session.session_id)
+
+    def _on_write_timeout(self, session_id: int) -> None:
+        session = self._write_sessions.get(session_id)
+        if session is None or session.acked_client or not self.alive:
+            return
+        session.timeout_event = None
+        if session.attempts < self.config.coordinator_retries:
+            session.attempts += 1
+            self.write_retries += 1
+            for replica_name in self._other_replicas_by_distance(session.key):
+                if replica_name in session.acks:
+                    continue
+                self.send(replica_name, "write_req",
+                          {"key": session.key,
+                           "value": session.version.value,
+                           "timestamp": session.version.timestamp,
+                           "session_id": session.session_id},
+                          size_bytes=(MESSAGE_HEADER_BYTES
+                                      + self.config.key_size_bytes
+                                      + self._value_bytes(session.version)))
+            self._arm_write_timeout(session)
+            return
+        if self.config.downgrade_on_timeout and session.acks:
+            self.writes_downgraded += 1
+            self._ack_write(session, degraded=True)
+            del self._write_sessions[session.session_id]
+            return
+        self.writes_failed += 1
+        session.acked_client = True
+        self.send(session.client, "write_error",
+                  {"req_id": session.req_id,
+                   "error": "write timeout: no replica acknowledged"},
+                  size_bytes=(MESSAGE_HEADER_BYTES
+                              + self.config.response_overhead_bytes))
+        del self._write_sessions[session.session_id]
+
     def _maybe_finish_write(self, session: WriteSession) -> None:
         if session.acked_client or not session.have_quorum():
             return
-        session.acked_client = True
-        self.send(session.client, "write_ack_client",
-                  {"req_id": session.req_id, "timestamp": session.version.timestamp},
-                  size_bytes=MESSAGE_HEADER_BYTES + 10)
+        self._ack_write(session, degraded=False)
         # Keep the session until all replicas ack so late acks are absorbed,
         # unless every replica already answered.
         if len(session.acks) >= self.config.replication_factor:
             del self._write_sessions[session.session_id]
+
+    def _ack_write(self, session: WriteSession, degraded: bool) -> None:
+        if session.timeout_event is not None:
+            session.timeout_event.cancel()
+            session.timeout_event = None
+        session.acked_client = True
+        self.send(session.client, "write_ack_client",
+                  {"req_id": session.req_id,
+                   "timestamp": session.version.timestamp,
+                   "degraded": degraded},
+                  size_bytes=MESSAGE_HEADER_BYTES + 10)

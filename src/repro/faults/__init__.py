@@ -1,0 +1,47 @@
+"""Fault injection for the simulated storage stacks.
+
+The paper's preliminary/final split only earns its keep when the storage
+misbehaves: crashes, partitions, and slow replicas are what make preliminary
+views diverge from final ones and what the protocol-level recovery paths
+(coordinator timeouts, read repair, leader election) exist to survive.  This
+package turns the latent ``crash``/``partition`` primitives of ``repro.sim``
+into scripted, repeatable experiments:
+
+* :class:`FaultEvent` / :class:`FaultSchedule` / :class:`Scenario` —
+  declarative fault scripts with symbolic targets;
+* :class:`FaultInjector` — binds a script to a live environment and replays
+  it on the simulation clock (or applies faults imperatively);
+* :mod:`repro.faults.scenarios` — a library of named scenarios
+  (``replica-crash``, ``wan-partition``, ``flapping-link``,
+  ``slow-follower``, ``degraded-link``, ``leader-crash``) used by the
+  Figure 13 fault benchmarks.
+"""
+
+from repro.faults.injector import AppliedFault, FaultInjector
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    FaultScheduleBuilder,
+    Scenario,
+)
+from repro.faults.scenarios import (
+    SCENARIOS,
+    cassandra_aliases,
+    get_scenario,
+    scenario_names,
+    zookeeper_aliases,
+)
+
+__all__ = [
+    "AppliedFault",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultScheduleBuilder",
+    "Scenario",
+    "SCENARIOS",
+    "cassandra_aliases",
+    "get_scenario",
+    "scenario_names",
+    "zookeeper_aliases",
+]

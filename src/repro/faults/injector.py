@@ -1,0 +1,159 @@
+"""Drives fault schedules against a live simulation environment.
+
+The :class:`FaultInjector` is the imperative arm of :mod:`repro.faults`: it
+resolves the symbolic targets of a :class:`~repro.faults.schedule.FaultSchedule`
+(e.g. ``"replica:1"``, ``"leader"``) to concrete node names through an alias
+table, schedules each event on the environment's scheduler, and keeps an
+audit log of every fault it applied — so an experiment can report *what*
+actually happened alongside *how the system behaved*.
+
+Region endpoints (``"region:<name>"``) are passed through unresolved; the
+:class:`~repro.sim.network.Network` understands them natively for partitions
+and link degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.faults.schedule import FaultEvent, FaultSchedule, Scenario
+from repro.sim.environment import SimEnvironment
+
+#: Selector prefix that names a region rather than a node.
+REGION_PREFIX = "region:"
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """One fault action the injector actually executed."""
+
+    time_ms: float
+    action: str
+    target: str
+    peer: str = ""
+    value: float = 0.0
+
+
+class FaultInjector:
+    """Applies fault actions — scheduled or immediate — to a ``SimEnvironment``."""
+
+    def __init__(self, env: SimEnvironment,
+                 schedule: Optional[Union[FaultSchedule, Scenario]] = None,
+                 aliases: Optional[Dict[str, str]] = None) -> None:
+        self.env = env
+        self.schedule = (schedule.schedule if isinstance(schedule, Scenario)
+                         else schedule)
+        self._aliases: Dict[str, str] = dict(aliases or {})
+        #: Chronological record of every action applied.
+        self.log: List[AppliedFault] = []
+
+    # -- target resolution -------------------------------------------------
+    def alias(self, selector: str, node_name: str) -> "FaultInjector":
+        """Map a symbolic selector (e.g. ``"replica:0"``) to a node name."""
+        self._aliases[selector] = node_name
+        return self
+
+    def resolve(self, selector: str) -> str:
+        """Node name (or pass-through region endpoint) for ``selector``."""
+        if selector.startswith(REGION_PREFIX):
+            return selector
+        if selector in self._aliases:
+            return self._aliases[selector]
+        if self.env.network.has_node(selector):
+            return selector
+        raise KeyError(f"cannot resolve fault target {selector!r}: not an "
+                       f"alias ({sorted(self._aliases)}) nor a registered node")
+
+    # -- arming a schedule --------------------------------------------------
+    def arm(self, schedule: Optional[Union[FaultSchedule, Scenario]] = None,
+            offset_ms: Optional[float] = None) -> int:
+        """Schedule every event of ``schedule`` (default: the bound one).
+
+        Event times are relative to ``offset_ms`` (default: the current
+        simulated time).  Returns the number of events armed.
+        """
+        if isinstance(schedule, Scenario):
+            schedule = schedule.schedule
+        if schedule is None:
+            schedule = self.schedule
+        if schedule is None or not len(schedule):
+            return 0
+        base = self.env.now() if offset_ms is None else offset_ms
+        for event in schedule:
+            self.env.scheduler.schedule_at(base + event.at_ms,
+                                           self._fire, event)
+        return len(schedule)
+
+    def _fire(self, event: FaultEvent) -> None:
+        handler = getattr(self, event.action)
+        if event.action in ("partition", "heal", "degrade_link", "restore_link"):
+            if event.action == "degrade_link":
+                handler(event.target, event.peer, event.value)
+            else:
+                handler(event.target, event.peer)
+        elif event.action == "slow":
+            handler(event.target, event.value)
+        else:
+            handler(event.target)
+
+    # -- immediate actions ---------------------------------------------------
+    def _record(self, action: str, target: str, peer: str = "",
+                value: float = 0.0) -> None:
+        self.log.append(AppliedFault(self.env.now(), action, target,
+                                     peer=peer, value=value))
+
+    def crash(self, target: str) -> None:
+        """Crash a node (messages to it are dropped until recovery)."""
+        name = self.resolve(target)
+        self.env.network.node(name).crash()
+        self._record("crash", name)
+
+    def recover(self, target: str) -> None:
+        name = self.resolve(target)
+        self.env.network.node(name).recover()
+        self._record("recover", name)
+
+    def partition(self, target: str, peer: str) -> None:
+        """Cut connectivity between two nodes or two ``region:`` endpoints."""
+        a, b = self.resolve(target), self.resolve(peer)
+        if a.startswith(REGION_PREFIX) != b.startswith(REGION_PREFIX):
+            raise ValueError("partition endpoints must both be nodes or both "
+                             f"be regions, got {a!r} and {b!r}")
+        if a.startswith(REGION_PREFIX):
+            self.env.network.partition_regions(a[len(REGION_PREFIX):],
+                                               b[len(REGION_PREFIX):])
+        else:
+            self.env.network.partition(a, b)
+        self._record("partition", a, peer=b)
+
+    def heal(self, target: str, peer: str) -> None:
+        a, b = self.resolve(target), self.resolve(peer)
+        if a.startswith(REGION_PREFIX):
+            self.env.network.heal_regions(a[len(REGION_PREFIX):],
+                                          b[len(REGION_PREFIX):])
+        else:
+            self.env.network.heal(a, b)
+        self._record("heal", a, peer=b)
+
+    def degrade_link(self, target: str, peer: str, extra_ms: float) -> None:
+        """Add ``extra_ms`` one-way latency between two endpoints."""
+        a, b = self.resolve(target), self.resolve(peer)
+        self.env.network.degrade_link(a, b, extra_ms)
+        self._record("degrade_link", a, peer=b, value=extra_ms)
+
+    def restore_link(self, target: str, peer: str) -> None:
+        a, b = self.resolve(target), self.resolve(peer)
+        self.env.network.restore_link(a, b)
+        self._record("restore_link", a, peer=b)
+
+    def slow(self, target: str, factor: float) -> None:
+        """Multiply a node's service times by ``factor``."""
+        name = self.resolve(target)
+        self.env.network.node(name).slow_down(factor)
+        self._record("slow", name, value=factor)
+
+    def restore_speed(self, target: str) -> None:
+        name = self.resolve(target)
+        self.env.network.node(name).restore_speed()
+        self._record("restore_speed", name)

@@ -1,0 +1,167 @@
+"""Library of named fault scenarios used by the fault benchmarks (Figure 13).
+
+Each factory returns a :class:`~repro.faults.schedule.Scenario` whose targets
+are symbolic selectors (``"replica:1"``, ``"leader"``, ``"region:<name>"``)
+so one scenario applies to any deployment; bind it with
+:func:`cassandra_aliases` / :func:`zookeeper_aliases` when constructing the
+:class:`~repro.faults.injector.FaultInjector`.
+
+The default timings assume the fault benchmark's 12 s runs: faults start
+after the 3 s warm-up and heal before the cool-down, so the measurement
+window observes injection, degraded operation, and recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.faults.schedule import FaultScheduleBuilder, Scenario
+from repro.sim.topology import Region
+
+
+# -- alias builders ---------------------------------------------------------
+
+def cassandra_aliases(cluster) -> Dict[str, str]:
+    """Selector → node-name map for a :class:`CassandraCluster`.
+
+    ``replica:<i>`` follows the cluster's replica order (FRK, IRL, VRG by
+    default); ``coordinator`` is the first client's contact replica.
+    """
+    aliases = {f"replica:{i}": replica.name
+               for i, replica in enumerate(cluster.replicas)}
+    if cluster.clients:
+        aliases["coordinator"] = cluster.clients[0].contact
+    return aliases
+
+
+def zookeeper_aliases(cluster) -> Dict[str, str]:
+    """Selector → node-name map for a :class:`ZooKeeperCluster`."""
+    aliases = {"leader": cluster.leader.name}
+    for i, follower in enumerate(cluster.followers):
+        aliases[f"follower:{i}"] = follower.name
+    return aliases
+
+
+# -- scenario factories ---------------------------------------------------------
+
+def replica_crash(at_ms: float = 4_000.0, duration_ms: float = 4_000.0,
+                  target: str = "replica:1") -> Scenario:
+    """One storage replica crashes mid-run and later restarts.
+
+    Quorum operations that counted on the crashed replica must retry toward
+    the surviving ones (or downgrade); after recovery, read-repair converges
+    the restarted replica's stale rows.
+    """
+    schedule = (FaultScheduleBuilder()
+                .crash_window(target, at_ms, duration_ms)
+                .build())
+    return Scenario(
+        name="replica-crash",
+        description=(f"{target} crashes at {at_ms:.0f} ms and recovers "
+                     f"{duration_ms:.0f} ms later"),
+        schedule=schedule)
+
+
+def wan_partition(at_ms: float = 4_000.0, duration_ms: float = 4_000.0,
+                  region_a: str = Region.FRK,
+                  region_b: str = Region.VRG) -> Scenario:
+    """A WAN partition splits two regions, then heals.
+
+    With the default FRK/IRL/VRG placement this cuts the FRK coordinator off
+    from the VRG replica while leaving a majority (FRK + IRL) connected, so
+    quorum-2 operations survive via retry and quorum-3 operations downgrade.
+    """
+    schedule = (FaultScheduleBuilder()
+                .partition_window(f"region:{region_a}", f"region:{region_b}",
+                                  at_ms, duration_ms)
+                .build())
+    return Scenario(
+        name="wan-partition",
+        description=(f"partition between {region_a} and {region_b} from "
+                     f"{at_ms:.0f} ms for {duration_ms:.0f} ms"),
+        schedule=schedule)
+
+
+def flapping_link(at_ms: float = 3_000.0, down_ms: float = 800.0,
+                  up_ms: float = 1_200.0, cycles: int = 3,
+                  region_a: str = Region.FRK,
+                  region_b: str = Region.VRG) -> Scenario:
+    """A link repeatedly drops and recovers (route flapping)."""
+    schedule = (FaultScheduleBuilder()
+                .flapping(f"region:{region_a}", f"region:{region_b}",
+                          at_ms, up_ms=up_ms, down_ms=down_ms, cycles=cycles)
+                .build())
+    return Scenario(
+        name="flapping-link",
+        description=(f"{region_a}↔{region_b} link flaps {cycles}× "
+                     f"({down_ms:.0f} ms down / {up_ms:.0f} ms up) "
+                     f"from {at_ms:.0f} ms"),
+        schedule=schedule)
+
+
+def slow_follower(at_ms: float = 3_000.0, duration_ms: float = 6_000.0,
+                  factor: float = 20.0,
+                  target: str = "replica:2") -> Scenario:
+    """One replica keeps running but serves every request ``factor``× slower."""
+    schedule = (FaultScheduleBuilder()
+                .slow_window(target, at_ms, duration_ms, factor)
+                .build())
+    return Scenario(
+        name="slow-follower",
+        description=(f"{target} runs {factor:.0f}× slower from {at_ms:.0f} ms "
+                     f"for {duration_ms:.0f} ms"),
+        schedule=schedule)
+
+
+def degraded_link(at_ms: float = 3_000.0, duration_ms: float = 6_000.0,
+                  extra_ms: float = 120.0,
+                  region_a: str = Region.FRK,
+                  region_b: str = Region.VRG) -> Scenario:
+    """A WAN link stays up but gains ``extra_ms`` of one-way latency."""
+    schedule = (FaultScheduleBuilder()
+                .degrade_window(f"region:{region_a}", f"region:{region_b}",
+                                at_ms, duration_ms, extra_ms)
+                .build())
+    return Scenario(
+        name="degraded-link",
+        description=(f"{region_a}↔{region_b} gains {extra_ms:.0f} ms one-way "
+                     f"latency from {at_ms:.0f} ms for {duration_ms:.0f} ms"),
+        schedule=schedule)
+
+
+def leader_crash(at_ms: float = 4_000.0,
+                 duration_ms: float = 6_000.0) -> Scenario:
+    """The ZooKeeper leader crashes; followers must detect and elect."""
+    schedule = (FaultScheduleBuilder()
+                .crash_window("leader", at_ms, duration_ms)
+                .build())
+    return Scenario(
+        name="leader-crash",
+        description=(f"ZooKeeper leader crashes at {at_ms:.0f} ms and "
+                     f"restarts {duration_ms:.0f} ms later"),
+        schedule=schedule)
+
+
+#: Scenario name → zero-argument factory with benchmark-friendly defaults.
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "replica-crash": replica_crash,
+    "wan-partition": wan_partition,
+    "flapping-link": flapping_link,
+    "slow-follower": slow_follower,
+    "degraded-link": degraded_link,
+    "leader-crash": leader_crash,
+}
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str, **overrides) -> Scenario:
+    """Build a named scenario, optionally overriding its timing parameters."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"choose from {scenario_names()}") from None
+    return factory(**overrides)

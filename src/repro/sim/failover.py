@@ -1,0 +1,69 @@
+"""Client-side request failover shared by the storage clients.
+
+Both the Cassandra and ZooKeeper clients recover from an unresponsive
+endpoint the same way: a per-request timeout fires, the request is re-sent
+to the next endpoint in a rotation, and after a bounded number of re-sends
+the caller gets a terminal error.  This mixin holds that machinery once so
+the two stacks cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class FailoverMixin:
+    """Timeout-driven request failover over a rotation of endpoints.
+
+    Mixed into client :class:`~repro.sim.node.Node` subclasses.  The host
+    class provides:
+
+    * ``self.scheduler`` and ``self._pending`` (request id → pending-request
+      object with ``attempts``, ``rotation_index``, ``timeout_event`` and
+      ``on_final`` attributes), plus ``self.retries`` /
+      ``self.failed_requests`` counters;
+    * :meth:`_redispatch` — re-send the request to the next endpoint (and
+      re-arm the timeout via :meth:`_arm_request_timeout`);
+    * :meth:`_failover_retries` — how many re-sends before giving up;
+    * :meth:`_timeout_failure_response` — the error payload delivered to
+      ``on_final`` when retries are exhausted.
+    """
+
+    def _arm_request_timeout(self, pending: Any, req_id: int,
+                             timeout_ms: float) -> None:
+        if timeout_ms > 0:
+            pending.timeout_event = self.scheduler.schedule(
+                timeout_ms, self._on_request_timeout, req_id)
+
+    def _on_request_timeout(self, req_id: int) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None:
+            return
+        pending.timeout_event = None
+        if pending.attempts < self._failover_retries():
+            pending.attempts += 1
+            pending.rotation_index += 1
+            self.retries += 1
+            self._redispatch(pending)
+            return
+        self.failed_requests += 1
+        del self._pending[req_id]
+        if pending.on_final is not None:
+            pending.on_final(self._timeout_failure_response(pending))
+
+    @staticmethod
+    def _settle(pending: Any) -> None:
+        """Cancel the pending timeout once a final response arrived."""
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+            pending.timeout_event = None
+
+    # -- host hooks ---------------------------------------------------------
+    def _redispatch(self, pending: Any) -> None:
+        raise NotImplementedError
+
+    def _failover_retries(self) -> int:
+        raise NotImplementedError
+
+    def _timeout_failure_response(self, pending: Any) -> Dict[str, Any]:
+        raise NotImplementedError

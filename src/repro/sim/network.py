@@ -92,6 +92,11 @@ class Network:
         self._nodes: Dict[str, "Node"] = {}
         self._links: Dict[Tuple[str, str], LinkStats] = {}
         self._partitioned: set[frozenset] = set()
+        self._partitioned_regions: set[frozenset] = set()
+        #: Extra one-way latency (ms) per node pair or region pair; region
+        #: keys use the ``"region:<name>"`` form so the two namespaces never
+        #: collide with node names.
+        self._link_extra_ms: Dict[frozenset, float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -121,8 +126,53 @@ class Network:
         """Remove a partition previously installed by :meth:`partition`."""
         self._partitioned.discard(frozenset({name_a, name_b}))
 
+    def partition_regions(self, region_a: str, region_b: str) -> None:
+        """Drop all future messages between two regions (both directions).
+
+        A WAN partition: every node in ``region_a`` loses connectivity to
+        every node in ``region_b``, regardless of when nodes join.
+        """
+        self._partitioned_regions.add(frozenset({region_a, region_b}))
+
+    def heal_regions(self, region_a: str, region_b: str) -> None:
+        """Remove a region partition installed by :meth:`partition_regions`."""
+        self._partitioned_regions.discard(frozenset({region_a, region_b}))
+
     def is_partitioned(self, name_a: str, name_b: str) -> bool:
-        return frozenset({name_a, name_b}) in self._partitioned
+        if frozenset({name_a, name_b}) in self._partitioned:
+            return True
+        if self._partitioned_regions:
+            node_a = self._nodes.get(name_a)
+            node_b = self._nodes.get(name_b)
+            if node_a is not None and node_b is not None:
+                key = frozenset({node_a.region, node_b.region})
+                if key in self._partitioned_regions:
+                    return True
+        return False
+
+    def degrade_link(self, endpoint_a: str, endpoint_b: str,
+                     extra_ms: float) -> None:
+        """Add one-way latency between two nodes (or two ``region:<r>`` keys)."""
+        if extra_ms < 0:
+            raise ValueError("extra latency must be non-negative")
+        self._link_extra_ms[frozenset({endpoint_a, endpoint_b})] = extra_ms
+
+    def restore_link(self, endpoint_a: str, endpoint_b: str) -> None:
+        """Remove a degradation installed by :meth:`degrade_link`."""
+        self._link_extra_ms.pop(frozenset({endpoint_a, endpoint_b}), None)
+
+    def link_extra_ms(self, src: str, dst: str) -> float:
+        """Total injected one-way latency currently applied to src→dst."""
+        if not self._link_extra_ms:
+            return 0.0
+        extra = self._link_extra_ms.get(frozenset({src, dst}), 0.0)
+        src_node = self._nodes.get(src)
+        dst_node = self._nodes.get(dst)
+        if src_node is not None and dst_node is not None:
+            extra += self._link_extra_ms.get(
+                frozenset({f"region:{src_node.region}",
+                           f"region:{dst_node.region}"}), 0.0)
+        return extra
 
     # -- traffic -----------------------------------------------------------
     def send(self, src: str, dst: str, kind: str,
@@ -132,7 +182,9 @@ class Network:
         """Send a message; returns the :class:`Message` (already accounted).
 
         The message is charged to the link even if the destination is down or
-        partitioned away — bytes leave the sender's NIC regardless.
+        partitioned away — bytes leave the sender's NIC regardless.  A *dead
+        sender*, however, sends nothing at all: work still queued on a
+        crashed node must not leak protocol messages (or bytes) out of it.
         """
         if src not in self._nodes:
             raise KeyError(f"unknown source node: {src}")
@@ -142,6 +194,9 @@ class Network:
                           payload=payload or {},
                           size_bytes=size_bytes or 0,
                           send_time=self.scheduler.now())
+        if not self._nodes[src].alive:
+            self.messages_dropped += 1
+            return message
         self.messages_sent += 1
         self._link(src, dst).record(message.size_bytes)
 
@@ -155,6 +210,7 @@ class Network:
                      and src_node.host == dst_node.host) or src == dst
         delay = self.topology.one_way(src_node.region, dst_node.region,
                                       same_host=same_host)
+        delay += self.link_extra_ms(src, dst)
         self.scheduler.schedule(delay + extra_delay_ms,
                                 self._deliver, message)
         return message

@@ -67,6 +67,9 @@ class Node:
         self.host = host if host is not None else name
         self.alive = True
         self.service_time_ms = service_time_ms
+        #: Multiplier on every service time charged via :meth:`process`;
+        #: fault injection raises it to model a slow (but live) replica.
+        self.slowdown_factor = 1.0
         self.queue = ProcessingQueue(self.scheduler)
         network.register(self)
 
@@ -77,6 +80,15 @@ class Node:
 
     def recover(self) -> None:
         self.alive = True
+
+    def slow_down(self, factor: float) -> None:
+        """Scale all future service times by ``factor`` (≥ 1 slows the node)."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slowdown_factor = factor
+
+    def restore_speed(self) -> None:
+        self.slowdown_factor = 1.0
 
     # -- messaging ---------------------------------------------------------
     def send(self, dst: str, kind: str, payload: Optional[dict] = None,
@@ -100,7 +112,7 @@ class Node:
                 **kwargs: Any) -> float:
         """Run ``fn`` after this node's processing queue serves the job."""
         cost = self.service_time_ms if service_time_ms is None else service_time_ms
-        return self.queue.submit(cost, fn, *args, **kwargs)
+        return self.queue.submit(cost * self.slowdown_factor, fn, *args, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r}, region={self.region!r})"

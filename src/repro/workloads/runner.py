@@ -28,7 +28,10 @@ from repro.workloads.ycsb import OperationGenerator
 #:   ``final_latency_ms``          overall completion latency,
 #:   ``preliminary_latency_ms``    latency of the preliminary view (if any),
 #:   ``diverged``                  True when preliminary != final,
-#:   ``had_preliminary``           False when no preliminary view arrived.
+#:   ``had_preliminary``           False when no preliminary view arrived,
+#:   ``degraded``                  True when the storage answered with less
+#:                                 than the requested quorum (fault recovery),
+#:   ``failed``                    True when the operation errored out.
 IssueFunction = Callable[[str, str, Optional[str], Callable[[Dict[str, Any]], None]], None]
 
 
@@ -45,6 +48,10 @@ class RunResult:
     read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     update_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     divergence: DivergenceCounter = field(default_factory=DivergenceCounter)
+    #: Operations answered with less than the requested quorum (whole run).
+    degraded_ops: int = 0
+    #: Operations that errored out, e.g. exhausted timeouts (whole run).
+    failed_ops: int = 0
 
     def throughput_ops_per_sec(self) -> float:
         if self.duration_ms <= 0:
@@ -61,6 +68,8 @@ class RunResult:
             "preliminary_p99_ms": self.preliminary_latency.p99(),
             "divergence_pct": self.divergence.divergence_percent(),
             "measured_ops": self.measured_ops,
+            "degraded_ops": self.degraded_ops,
+            "failed_ops": self.failed_ops,
         }
 
 
@@ -100,7 +109,8 @@ class ClosedLoopRunner:
                  make_generator: Callable[[int], OperationGenerator],
                  threads: int, duration_ms: float = 30_000.0,
                  warmup_ms: float = 5_000.0, cooldown_ms: float = 5_000.0,
-                 think_time_ms: float = 0.0, label: str = "run") -> None:
+                 think_time_ms: float = 0.0, label: str = "run",
+                 faults: Optional[Any] = None) -> None:
         if threads <= 0:
             raise ValueError("need at least one client thread")
         if duration_ms <= warmup_ms + cooldown_ms:
@@ -113,6 +123,10 @@ class ClosedLoopRunner:
         self.cooldown_ms = cooldown_ms
         self.think_time_ms = think_time_ms
         self.label = label
+        #: A :class:`repro.faults.FaultInjector` (or anything with ``arm``):
+        #: its schedule is armed relative to the run's start time, so fault
+        #: scripts compose with warm-up windows the same way on every run.
+        self.faults = faults
         self._threads = [
             _ClientThread(self, i, make_generator(i)) for i in range(threads)
         ]
@@ -130,6 +144,8 @@ class ClosedLoopRunner:
         self.end_time = self.start_time + self.duration_ms
         self._measure_start = self.start_time + self.warmup_ms
         self._measure_end = self.end_time - self.cooldown_ms
+        if self.faults is not None:
+            self.faults.arm(offset_ms=self.start_time)
         for thread in self._threads:
             # Start threads at slightly staggered instants so they do not all
             # hit the coordinator in the same event tick.
@@ -146,6 +162,13 @@ class ClosedLoopRunner:
     def record_completion(self, op_type: str, issued_at: float,
                           info: Dict[str, Any]) -> None:
         self.result.total_ops += 1
+        # Fault outcomes are counted over the whole run (not only the
+        # measurement window): a fault script may overlap warm-up/cool-down
+        # and recovery behaviour is interesting wherever it happens.
+        if info.get("degraded"):
+            self.result.degraded_ops += 1
+        if info.get("failed"):
+            self.result.failed_ops += 1
         completed_at = self.scheduler.now()
         if not (self._measure_start <= issued_at and
                 completed_at <= self._measure_end):

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.sim.failover import FailoverMixin
 from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network
 from repro.sim.node import Node
 from repro.zookeeper_sim.config import ZooKeeperConfig
@@ -29,20 +30,39 @@ class _PendingRequest:
     on_preliminary: Optional[ResponseCallback] = None
     on_final: Optional[ResponseCallback] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Failover state: the request payload for re-sends, retry count, and
+    #: the pending client-side timeout event.
+    request: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 0
+    attempts: int = 0
+    rotation_index: int = 0
+    timeout_event: Optional[Any] = None
 
 
-class ZKClient(Node):
-    """A client connected to one server of the ensemble."""
+class ZKClient(FailoverMixin, Node):
+    """A client connected to one server of the ensemble.
+
+    With ``config.request_timeout_ms`` set and ``ensemble`` given, a request
+    that receives no final response in time is re-issued to the next server
+    of the ensemble — which is how sessions fail over when the contacted
+    server (or the leader behind it) crashes.
+    """
 
     def __init__(self, name: str, region: str, network: Network,
                  server: str, config: ZooKeeperConfig,
-                 host: Optional[str] = None) -> None:
+                 host: Optional[str] = None,
+                 ensemble: Optional[Sequence[str]] = None) -> None:
         super().__init__(name, region, network, host=host)
         self.server = server
         self.config = config
+        self._servers: List[str] = [server] + [
+            s for s in (ensemble or []) if s != server]
         self._req_ids = itertools.count(1)
         self._pending: Dict[int, _PendingRequest] = {}
         self.requests_sent = 0
+        # Fault-path instrumentation (stays zero with timeouts disabled).
+        self.retries = 0
+        self.failed_requests = 0
 
     # -- generic request plumbing -------------------------------------------
     def submit(self, op: str, path: str, data: Any = None,
@@ -53,18 +73,42 @@ class ZKClient(Node):
         """Send one operation to the connected server; returns the request id."""
         req_id = next(self._req_ids)
         self.requests_sent += 1
-        self._pending[req_id] = _PendingRequest(
-            op=op, sent_at=self.scheduler.now(),
-            on_preliminary=on_preliminary, on_final=on_final)
         if request_size is None:
             request_size = (MESSAGE_HEADER_BYTES + self.config.path_size_bytes
                             + (self.config.element_size_bytes if data is not None
                                else 0))
-        self.send(self.server, "zk_request",
-                  {"req_id": req_id, "op": op, "path": path, "data": data,
-                   "sequential": sequential, "icg": icg},
-                  size_bytes=request_size)
+        pending = _PendingRequest(
+            op=op, sent_at=self.scheduler.now(),
+            on_preliminary=on_preliminary, on_final=on_final,
+            request={"req_id": req_id, "op": op, "path": path, "data": data,
+                     "sequential": sequential, "icg": icg},
+            size_bytes=request_size)
+        self._pending[req_id] = pending
+        self._dispatch(pending)
         return req_id
+
+    # -- dispatch & failover (see FailoverMixin) ----------------------------------
+    def _dispatch(self, pending: _PendingRequest) -> None:
+        server = self._servers[pending.rotation_index % len(self._servers)]
+        self.send(server, "zk_request", dict(pending.request),
+                  size_bytes=pending.size_bytes)
+        self._arm_request_timeout(pending, pending.request["req_id"],
+                                  self.config.request_timeout_ms)
+
+    def _redispatch(self, pending: _PendingRequest) -> None:
+        self._dispatch(pending)
+
+    def _failover_retries(self) -> int:
+        return self.config.client_retries
+
+    def _timeout_failure_response(self, pending: _PendingRequest) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "result": None,
+            "error": "client timeout: no server responded",
+            "latency_ms": self.scheduler.now() - pending.sent_at,
+            "preliminary": False,
+        }
 
     # -- convenience wrappers ---------------------------------------------------
     def create(self, path: str, data: Any = None, sequential: bool = False,
@@ -120,6 +164,7 @@ class ZKClient(Node):
         pending = self._pending.pop(payload["req_id"], None)
         if pending is None:
             return
+        self._settle(pending)
         if pending.on_final is not None:
             pending.on_final({
                 "ok": payload["ok"],

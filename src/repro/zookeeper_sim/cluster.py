@@ -39,6 +39,25 @@ class ZooKeeperCluster:
     def servers(self) -> List[ZKServer]:
         return [self.leader] + list(self.followers)
 
+    def enable_failure_detection(self) -> None:
+        """Arm heartbeats/elections on every server.
+
+        Requires a config with ``heartbeat_interval_ms > 0`` (e.g.
+        ``ZooKeeperConfig.fault_tolerant()``); a no-op otherwise.
+        """
+        for server in self.servers:
+            server.enable_failure_detection()
+
+    def current_leader(self) -> Optional[ZKServer]:
+        """The live server currently acting as leader (highest epoch wins)."""
+        leaders = [s for s in self.servers if s.alive and s.is_leader]
+        if not leaders:
+            return None
+        return max(leaders, key=lambda s: s.epoch)
+
+    def server_names(self) -> List[str]:
+        return [server.name for server in self.servers]
+
     def server_in(self, region: str) -> ZKServer:
         """The ensemble member deployed in ``region`` (leader preferred)."""
         if self.leader.region == region:
@@ -50,18 +69,22 @@ class ZooKeeperCluster:
 
     def add_client(self, name: str, region: str,
                    connect_region: Optional[str] = None,
-                   colocated: bool = False) -> ZKClient:
+                   colocated: bool = False,
+                   failover: bool = False) -> ZKClient:
         """Create a client in ``region`` connected to a server.
 
         ``connect_region`` picks the server (defaults to the client's own
         region); ``colocated=True`` places the client on the same host as the
         server, giving loopback latency (used for the ticket retailers that
-        sit next to the FRK follower).
+        sit next to the FRK follower).  ``failover=True`` hands the client
+        the whole ensemble so a request timeout can rotate to another server
+        (used by the fault experiments with ``config.request_timeout_ms``).
         """
         server = self.server_in(connect_region or region)
         host = server.host if colocated else None
+        ensemble = self.server_names() if failover else None
         client = ZKClient(name, region, self.env.network, server.name,
-                          self.config, host=host)
+                          self.config, host=host, ensemble=ensemble)
         self._clients.append(client)
         return client
 

@@ -32,3 +32,30 @@ class ZooKeeperConfig:
     path_size_bytes: int = 24
     #: Small response / acknowledgement body size (bytes).
     ack_bytes: int = 10
+    #: Follower → leader heartbeat period (ms); 0 disables failure detection
+    #: entirely, which is the fault-free behaviour the happy-path figures
+    #: assume.
+    heartbeat_interval_ms: float = 0.0
+    #: A follower that has not heard a heartbeat reply for this long suspects
+    #: the leader and starts an election.
+    leader_timeout_ms: float = 800.0
+    #: How long an elector waits to collect candidacies before tallying.
+    election_window_ms: float = 300.0
+    #: Client-side timeout for one request (ms); 0 disables.  On expiry the
+    #: client re-issues the request to the next server of the ensemble.
+    request_timeout_ms: float = 0.0
+    #: How many times the client re-issues a timed-out request.
+    client_retries: int = 3
+
+    @classmethod
+    def fault_tolerant(cls, **overrides) -> "ZooKeeperConfig":
+        """A configuration with failure detection and client failover enabled."""
+        defaults = dict(
+            heartbeat_interval_ms=200.0,
+            leader_timeout_ms=800.0,
+            election_window_ms=300.0,
+            request_timeout_ms=2_000.0,
+            client_retries=3,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

@@ -109,3 +109,29 @@ class DataTree:
 
     def child_count(self, path: str) -> int:
         return len(self._lookup(path).children)
+
+    # -- state transfer ------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy of the whole tree, for full state transfer."""
+
+        def _dump(node: Znode) -> Dict[str, Any]:
+            return {"data": node.data,
+                    "next_sequence": node.next_sequence,
+                    "version": node.version,
+                    "children": {name: _dump(child)
+                                 for name, child in node.children.items()}}
+
+        return _dump(self._root)
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Replace the entire tree with a :meth:`snapshot` copy."""
+
+        def _load(name: str, payload: Dict[str, Any]) -> Znode:
+            node = Znode(name, payload["data"])
+            node.next_sequence = payload["next_sequence"]
+            node.version = payload["version"]
+            node.children = {child_name: _load(child_name, child)
+                             for child_name, child in payload["children"].items()}
+            return node
+
+        self._root = _load("/", snapshot)

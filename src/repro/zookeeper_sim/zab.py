@@ -41,11 +41,11 @@ class _Proposal:
 class ProposalTracker:
     """Leader-side record of outstanding proposals."""
 
-    def __init__(self, ensemble_size: int) -> None:
+    def __init__(self, ensemble_size: int, next_zxid: int = 1) -> None:
         if ensemble_size < 1:
             raise ValueError("ensemble must have at least one server")
         self.ensemble_size = ensemble_size
-        self._next_zxid = 1
+        self._next_zxid = next_zxid
         self._proposals: Dict[int, _Proposal] = {}
 
     @property
@@ -76,6 +76,12 @@ class ProposalTracker:
     def transaction(self, zxid: int) -> Optional[Transaction]:
         proposal = self._proposals.get(zxid)
         return proposal.txn if proposal is not None else None
+
+    def pending_transactions(self) -> List[Transaction]:
+        """Uncommitted proposals in zxid order (for retransmission to a
+        follower that joined or re-synced mid-stream)."""
+        return [self._proposals[zxid].txn for zxid in sorted(self._proposals)
+                if not self._proposals[zxid].committed]
 
     def pending_count(self) -> int:
         return sum(1 for p in self._proposals.values() if not p.committed)
@@ -111,3 +117,39 @@ class CommitLog:
             else:
                 break
         return ready
+
+    def uncommitted_transactions(self) -> List[Transaction]:
+        """Learned-but-unapplied transactions beyond ``last_applied``, in order.
+
+        These are the proposals a new leader re-proposes under its own epoch
+        (with fresh zxids) so the zxid sequence stays gapless.
+        """
+        return [self._known[zxid] for zxid in sorted(self._known)
+                if zxid > self.last_applied]
+
+    def has_backlog(self) -> bool:
+        """Whether entries beyond ``last_applied`` are waiting to apply.
+
+        Also prunes entries at or below ``last_applied`` (possible after a
+        sync or snapshot advanced ``last_applied`` past learned proposals).
+        """
+        self._known = {z: t for z, t in self._known.items()
+                       if z > self.last_applied}
+        self._committed = {z for z in self._committed
+                           if z > self.last_applied}
+        return bool(self._known or self._committed)
+
+    def discard_uncommitted(self) -> int:
+        """Drop every entry beyond ``last_applied``; returns how many.
+
+        Called when a new leader takes over: proposals of the dead epoch that
+        never reached this server as applicable transactions are abandoned
+        (the origin's client will time out and retry through the new leader).
+        """
+        stale = [z for z in self._known if z > self.last_applied]
+        for zxid in stale:
+            del self._known[zxid]
+        dropped_commits = [z for z in self._committed if z > self.last_applied]
+        for zxid in dropped_commits:
+            self._committed.discard(zxid)
+        return len(set(stale) | set(dropped_commits))

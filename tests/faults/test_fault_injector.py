@@ -1,0 +1,122 @@
+"""Tests for the FaultInjector driving schedules against an environment."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule, get_scenario
+from repro.sim.environment import SimEnvironment
+from repro.sim.node import Node
+from repro.sim.topology import Region, Topology
+
+
+class Recorder(Node):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture
+def flat_env():
+    return SimEnvironment(seed=3, topology=Topology(jitter_fraction=0.0))
+
+
+class TestResolution:
+    def test_alias_resolution(self, flat_env):
+        Recorder("node-a", Region.IRL, flat_env.network)
+        injector = FaultInjector(flat_env, aliases={"replica:0": "node-a"})
+        assert injector.resolve("replica:0") == "node-a"
+
+    def test_plain_node_name_passes_through(self, flat_env):
+        Recorder("node-a", Region.IRL, flat_env.network)
+        injector = FaultInjector(flat_env)
+        assert injector.resolve("node-a") == "node-a"
+
+    def test_region_selector_passes_through(self, flat_env):
+        injector = FaultInjector(flat_env)
+        assert injector.resolve("region:eu-west-1") == "region:eu-west-1"
+
+    def test_unresolvable_target_raises(self, flat_env):
+        injector = FaultInjector(flat_env)
+        with pytest.raises(KeyError):
+            injector.resolve("ghost")
+
+    def test_mixed_partition_endpoints_rejected(self, flat_env):
+        Recorder("node-a", Region.IRL, flat_env.network)
+        injector = FaultInjector(flat_env)
+        with pytest.raises(ValueError):
+            injector.partition("node-a", "region:eu-west-1")
+
+
+class TestImmediateActions:
+    def test_crash_and_recover(self, flat_env):
+        node = Recorder("node-a", Region.IRL, flat_env.network)
+        injector = FaultInjector(flat_env)
+        injector.crash("node-a")
+        assert not node.alive
+        injector.recover("node-a")
+        assert node.alive
+        assert [f.action for f in injector.log] == ["crash", "recover"]
+
+    def test_slow_and_restore(self, flat_env):
+        node = Recorder("node-a", Region.IRL, flat_env.network)
+        injector = FaultInjector(flat_env)
+        injector.slow("node-a", 8.0)
+        assert node.slowdown_factor == 8.0
+        injector.restore_speed("node-a")
+        assert node.slowdown_factor == 1.0
+
+    def test_region_partition_and_heal(self, flat_env):
+        a = Recorder("a", Region.IRL, flat_env.network)
+        b = Recorder("b", Region.FRK, flat_env.network)
+        injector = FaultInjector(flat_env)
+        injector.partition(f"region:{Region.IRL}", f"region:{Region.FRK}")
+        a.send("b", "lost")
+        flat_env.run_until_idle()
+        assert b.received == []
+        injector.heal(f"region:{Region.IRL}", f"region:{Region.FRK}")
+        a.send("b", "ok")
+        flat_env.run_until_idle()
+        assert [m.kind for m in b.received] == ["ok"]
+
+
+class TestArming:
+    def test_armed_schedule_fires_on_sim_clock(self, flat_env):
+        node = Recorder("node-a", Region.IRL, flat_env.network)
+        schedule = FaultSchedule((
+            FaultEvent(100.0, "crash", "node-a"),
+            FaultEvent(300.0, "recover", "node-a"),
+        ))
+        injector = FaultInjector(flat_env, schedule=schedule)
+        assert injector.arm() == 2
+        flat_env.run(until=150.0)
+        assert not node.alive
+        flat_env.run(until=350.0)
+        assert node.alive
+        assert [(f.time_ms, f.action) for f in injector.log] == [
+            (100.0, "crash"), (300.0, "recover")]
+
+    def test_arm_with_offset(self, flat_env):
+        node = Recorder("node-a", Region.IRL, flat_env.network)
+        schedule = FaultSchedule((FaultEvent(100.0, "crash", "node-a"),))
+        injector = FaultInjector(flat_env, schedule=schedule)
+        injector.arm(offset_ms=1_000.0)
+        flat_env.run(until=900.0)
+        assert node.alive
+        flat_env.run(until=1_200.0)
+        assert not node.alive
+
+    def test_arm_accepts_scenario_objects(self, flat_env):
+        node = Recorder("node-a", Region.IRL, flat_env.network)
+        scenario = get_scenario("replica-crash", at_ms=50.0, duration_ms=100.0)
+        injector = FaultInjector(flat_env, aliases={"replica:1": "node-a"})
+        assert injector.arm(scenario) == 2
+        flat_env.run(until=75.0)
+        assert not node.alive
+        flat_env.run_until_idle()
+        assert node.alive
+
+    def test_arm_empty_schedule_is_noop(self, flat_env):
+        injector = FaultInjector(flat_env)
+        assert injector.arm() == 0

@@ -1,0 +1,19 @@
+"""Marks everything under ``tests/integration`` with the ``integration`` marker.
+
+Registered in ``pyproject.toml``; select with ``-m integration`` or exclude
+with ``-m "not integration"``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_INTEGRATION_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if _INTEGRATION_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.integration)

@@ -1,0 +1,275 @@
+"""Tests for ZooKeeper failure detection, leader election, state sync, and
+client session failover."""
+
+import pytest
+
+from repro.sim.environment import SimEnvironment
+from repro.sim.topology import Region
+from repro.zookeeper_sim.cluster import ZooKeeperCluster
+from repro.zookeeper_sim.config import ZooKeeperConfig
+
+
+def _build(seed=7, preload=10):
+    env = SimEnvironment(seed=seed)
+    cluster = ZooKeeperCluster(env, leader_region=Region.IRL,
+                               follower_regions=(Region.FRK, Region.VRG),
+                               config=ZooKeeperConfig.fault_tolerant())
+    if preload:
+        cluster.preload_queue("/queue", [f"item-{i}" for i in range(preload)])
+    cluster.enable_failure_detection()
+    return env, cluster
+
+
+class TestLeaderElection:
+    def test_followers_elect_a_new_leader_after_crash(self):
+        env, cluster = _build()
+        env.run(until=500.0)
+        cluster.leader.crash()
+        env.run(until=5_000.0)
+
+        new_leader = cluster.current_leader()
+        assert new_leader is not None
+        assert new_leader.name != cluster.leader.name
+        assert new_leader.epoch == 1
+        assert new_leader.promotions == 1
+        # Exactly one server promoted itself.
+        assert sum(s.promotions for s in cluster.servers) == 1
+        # The surviving follower adopted the new leader.
+        other = [f for f in cluster.followers if f is not new_leader][0]
+        assert other.leader_name == new_leader.name
+        assert other.epoch == 1
+
+    def test_election_prefers_most_up_to_date_follower(self):
+        """The candidate with the higher last-applied zxid wins even when
+        name ordering favours the other."""
+        env, cluster = _build()
+        env.run(until=200.0)
+        # Let some transactions commit, then hold one follower back by
+        # cutting it off while more commits happen.
+        client = cluster.add_client("writer", Region.IRL,
+                                    connect_region=Region.IRL)
+        behind = cluster.followers[1]   # wins name tie-breaks otherwise
+        ahead = cluster.followers[0]
+        for _ in range(3):
+            client.enqueue("/queue", "x")
+        env.run(until=1_000.0)
+        env.network.partition(cluster.leader.name, behind.name)
+        for _ in range(3):
+            client.enqueue("/queue", "y")
+        env.run(until=1_800.0)
+        assert ahead.commit_log.last_applied > behind.commit_log.last_applied
+
+        env.network.heal(cluster.leader.name, behind.name)
+        cluster.leader.crash()
+        env.run(until=8_000.0)
+        new_leader = cluster.current_leader()
+        assert new_leader is ahead
+
+    def test_no_election_without_failure_detection(self):
+        env = SimEnvironment(seed=7)
+        cluster = ZooKeeperCluster(env, config=ZooKeeperConfig())  # defaults
+        cluster.enable_failure_detection()  # no-op: heartbeats disabled
+        cluster.leader.crash()
+        env.run(until=10_000.0)
+        assert cluster.current_leader() is None
+        assert all(s.elections_started == 0 for s in cluster.servers)
+
+
+class TestSessionsFailOver:
+    def test_client_request_completes_through_new_leader(self):
+        env, cluster = _build()
+        client = cluster.add_client("app", Region.FRK,
+                                    connect_region=Region.FRK, failover=True)
+        env.run(until=500.0)
+        cluster.leader.crash()
+        env.run(until=5_000.0)
+
+        results = []
+        client.dequeue("/queue", on_final=results.append)
+        env.run(until=12_000.0)
+        assert results and results[0]["ok"]
+        assert results[0]["result"]["item"] == "item-0"
+
+    def test_client_fails_over_when_its_server_crashes(self):
+        env, cluster = _build()
+        follower = cluster.followers[0]
+        client = cluster.add_client("app", Region.FRK,
+                                    connect_region=Region.FRK, failover=True)
+        assert client.server == follower.name
+        env.run(until=300.0)
+        follower.crash()
+
+        results = []
+        client.get_children("/queue", on_final=results.append)
+        env.run(until=10_000.0)
+        assert results and results[0]["ok"]
+        assert len(results[0]["result"]) == 10
+        assert client.retries >= 1
+        assert client.failed_requests == 0
+
+    def test_in_flight_write_survives_leader_crash_via_retry(self):
+        """A write forwarded to a leader that dies before committing is
+        re-issued (client timeout) and commits under the new leader."""
+        env, cluster = _build()
+        client = cluster.add_client("app", Region.FRK,
+                                    connect_region=Region.FRK, failover=True)
+        env.run(until=500.0)
+        results = []
+        client.enqueue("/queue", "precious", on_final=results.append)
+        # Crash the leader immediately: the forward is still in flight.
+        cluster.leader.crash()
+        env.run(until=20_000.0)
+
+        assert results and results[0]["ok"]
+        new_leader = cluster.current_leader()
+        children = new_leader.tree.get_children("/queue")
+        items = [new_leader.tree.get(f"/queue/{c}") for c in children]
+        assert "precious" in items
+
+
+class TestCommitProgressUnderLoad:
+    def test_no_commit_stall_after_election_under_steady_load(self):
+        """Regression: a leader crash with in-flight proposals must not
+        leave a zxid gap (or lost proposals from the adoption window) that
+        stalls the new epoch's commit log forever."""
+        env, cluster = _build(preload=0)
+        cluster.preload_queue("/queue", [])  # create the (empty) queue node
+        clients = [cluster.add_client(f"c{i}", region, connect_region=region,
+                                      failover=True)
+                   for i, region in enumerate(
+                       (Region.IRL, Region.FRK, Region.VRG))]
+        outcomes = {"ok": 0, "failed": 0}
+
+        def record(resp):
+            outcomes["ok" if resp["ok"] else "failed"] += 1
+
+        counter = {"n": 0}
+
+        def tick():
+            for client in clients:
+                counter["n"] += 1
+                client.enqueue("/queue", f"v{counter['n']}", on_final=record)
+            if env.now() < 10_000.0:
+                env.scheduler.schedule(100.0, tick)
+
+        env.scheduler.schedule(0.0, tick)
+        env.scheduler.schedule(3_000.0, cluster.leader.crash)
+        env.run(until=40_000.0)
+
+        # Every in-flight and subsequent write committed (orphan proposals
+        # are re-proposed gaplessly; lost adoption-window proposals are
+        # retransmitted at sync; stalled followers re-sync themselves).
+        assert outcomes["failed"] == 0
+        assert outcomes["ok"] == counter["n"]
+        live = [s for s in cluster.servers if s.alive]
+        applied = {s.commit_log.last_applied for s in live}
+        assert len(applied) == 1  # all live servers converged
+        assert applied.pop() >= counter["n"]
+        assert not any(s.commit_log.has_backlog() for s in live)
+
+        # And the cluster still commits new work afterwards.
+        probe = []
+        clients[0].enqueue("/queue", "probe", on_final=probe.append)
+        env.run(until=60_000.0)
+        assert probe and probe[0]["ok"]
+
+
+class TestZombieLeader:
+    def test_partitioned_live_leader_demotes_and_resyncs_after_heal(self):
+        """A leader partitioned from both followers (but alive) is deposed;
+        when the partition heals, its stale proposals earn a redirect, it
+        demotes itself, and a snapshot brings it back in line."""
+        env, cluster = _build(preload=0)
+        cluster.preload_queue("/queue", [])
+        clients = [cluster.add_client(f"c{i}", region, connect_region=region,
+                                      failover=True)
+                   for i, region in enumerate(
+                       (Region.IRL, Region.FRK, Region.VRG))]
+        outcomes = {"ok": 0, "failed": 0}
+        counter = {"n": 0}
+
+        def tick():
+            for client in clients:
+                counter["n"] += 1
+                client.enqueue("/queue", f"v{counter['n']}",
+                               on_final=lambda r: outcomes.__setitem__(
+                                   "ok" if r["ok"] else "failed",
+                                   outcomes["ok" if r["ok"] else "failed"] + 1))
+            if env.now() < 12_000.0:
+                env.scheduler.schedule(100.0, tick)
+
+        old_leader = cluster.leader
+
+        def cut():
+            for follower in cluster.followers:
+                env.network.partition(old_leader.name, follower.name)
+
+        def heal():
+            for follower in cluster.followers:
+                env.network.heal(old_leader.name, follower.name)
+
+        env.scheduler.schedule(0.0, tick)
+        env.scheduler.schedule(3_000.0, cut)
+        env.scheduler.schedule(8_000.0, heal)
+        env.run(until=60_000.0)
+
+        assert outcomes["failed"] == 0
+        assert outcomes["ok"] == counter["n"]
+        # The deposed leader demoted itself and caught up via snapshot.
+        assert not old_leader.is_leader
+        assert old_leader.epoch == cluster.current_leader().epoch
+        assert old_leader.snapshots_received >= 1
+        applied = {s.commit_log.last_applied for s in cluster.servers}
+        assert len(applied) == 1
+
+
+class TestRecoveryAndSync:
+    def test_old_leader_rejoins_as_follower_and_syncs(self):
+        env, cluster = _build()
+        client = cluster.add_client("app", Region.FRK,
+                                    connect_region=Region.FRK, failover=True)
+        env.run(until=500.0)
+        old_leader = cluster.leader
+        old_leader.crash()
+        env.run(until=5_000.0)
+
+        # Commit work the old leader never saw.
+        done = []
+        client.dequeue("/queue", on_final=done.append)
+        client.enqueue("/queue", "after-crash", on_final=done.append)
+        env.run(until=10_000.0)
+        assert len(done) == 2
+
+        old_leader.recover()
+        env.run(until=15_000.0)
+
+        new_leader = cluster.current_leader()
+        assert new_leader is not old_leader
+        assert not old_leader.is_leader
+        assert old_leader.epoch == new_leader.epoch
+        assert old_leader.commit_log.last_applied == \
+            new_leader.commit_log.last_applied
+        assert old_leader.tree.get_children("/queue") == \
+            new_leader.tree.get_children("/queue")
+
+    def test_crashed_follower_syncs_after_recovery(self):
+        env, cluster = _build()
+        client = cluster.add_client("app", Region.IRL,
+                                    connect_region=Region.IRL, failover=True)
+        follower = cluster.followers[0]
+        env.run(until=300.0)
+        follower.crash()
+
+        done = []
+        for _ in range(4):
+            client.enqueue("/queue", "while-down", on_final=done.append)
+        env.run(until=3_000.0)
+        assert len(done) == 4
+        assert follower.commit_log.last_applied == 0
+
+        follower.recover()
+        env.run(until=8_000.0)
+        assert follower.commit_log.last_applied == \
+            cluster.leader.commit_log.last_applied
+        assert follower.tree.get_children("/queue") == \
+            cluster.leader.tree.get_children("/queue")
