@@ -1,0 +1,122 @@
+"""Perf harness smoke: the wall-clock scenarios run, count deterministically,
+and the BENCH_perf.json trajectory machinery round-trips."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    append_entry,
+    baseline_entry,
+    check_regression,
+    format_perf,
+    latest_entry,
+    load_trajectory,
+    run_closed_loop_scenario,
+    run_fault_scenario,
+    run_perf,
+    run_zk_queue_scenario,
+    save_trajectory,
+    scenario_names,
+)
+
+_TINY = dict(threads_per_client=2, duration_ms=2_500.0, warmup_ms=500.0,
+             cooldown_ms=250.0, record_count=60)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_scenarios_run_and_count(benchmark):
+    counts = benchmark.pedantic(run_closed_loop_scenario, kwargs=_TINY,
+                                rounds=1, iterations=1)
+    assert counts["events"] > 0 and counts["ops"] > 0
+
+
+def test_scenarios_are_deterministic():
+    first = run_closed_loop_scenario(**_TINY)
+    second = run_closed_loop_scenario(**_TINY)
+    assert first == second
+
+
+def test_zk_and_fault_scenarios_count():
+    zk = run_zk_queue_scenario(samples=40)
+    assert zk["ops"] == 40 and zk["events"] > 0
+    faults = run_fault_scenario(threads_per_client=1, duration_ms=3_000.0,
+                                warmup_ms=500.0, cooldown_ms=250.0,
+                                record_count=60)
+    assert faults["ops"] > 0 and faults["events"] > 0
+
+
+def test_run_perf_unknown_scenario_rejected():
+    with pytest.raises(KeyError):
+        run_perf(scenarios=["nope"])
+
+
+def test_run_perf_seed_changes_counts():
+    default = run_perf(scenarios=["fig09-zk-queue"], quick=True, repeats=1)
+    reseeded = run_perf(scenarios=["fig09-zk-queue"], quick=True, repeats=1,
+                        seed=99)
+    # Same ops (the workload is fixed-size) but a different event schedule.
+    assert reseeded["fig09-zk-queue"]["ops"] == default["fig09-zk-queue"]["ops"]
+    assert reseeded["fig09-zk-queue"]["events"] > 0
+
+
+def test_run_perf_measures_named_scenarios():
+    assert "fig06-closed-loop" in scenario_names()
+    measured = run_perf(scenarios=["fig09-zk-queue"], quick=True, repeats=1)
+    stats = measured["fig09-zk-queue"]
+    assert stats["wall_s"] > 0
+    assert stats["events_per_s"] > 0
+    assert stats["ops_per_s"] * stats["wall_s"] == pytest.approx(
+        stats["ops"], rel=0.05)
+
+
+def test_trajectory_round_trip(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    trajectory = load_trajectory(path)
+    assert trajectory["entries"] == []
+    measured = {"s": {"wall_s": 1.0, "runs_s": [1.0], "events": 10,
+                      "ops": 5, "events_per_s": 10.0, "ops_per_s": 5.0}}
+    append_entry(trajectory, "first", quick=True, measured=measured)
+    save_trajectory(trajectory, path)
+    loaded = load_trajectory(path)
+    assert loaded["entries"][0]["label"] == "first"
+    assert baseline_entry(loaded, quick=True)["label"] == "first"
+    assert baseline_entry(loaded, quick=False) is None
+    assert latest_entry(loaded, quick=True)["label"] == "first"
+    assert json.loads(path.read_text())["schema"] == 1
+
+
+def test_format_perf_reports_speedup():
+    old = {"label": "old", "scenarios": {
+        "s": {"wall_s": 2.0, "events": 1, "events_per_s": 1, "ops": 1,
+              "ops_per_s": 1}}}
+    new = {"s": {"wall_s": 1.0, "events": 1, "events_per_s": 1, "ops": 1,
+                 "ops_per_s": 1}}
+    report = format_perf(new, baseline=old)
+    assert "2.00x" in report
+
+
+def test_check_regression_gate():
+    committed = {"scenarios": {"s": {"wall_s": 1.0, "events": 10}}}
+    ok = {"s": {"wall_s": 1.5, "events": 10}}
+    slow = {"s": {"wall_s": 2.5, "events": 10}}
+    lines = []
+    assert check_regression(ok, committed, echo=lines.append)
+    assert not check_regression(slow, committed, echo=lines.append)
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_check_regression_fails_loudly_on_missing_reference():
+    committed = {"scenarios": {"other": {"wall_s": 1.0, "events": 10}}}
+    lines = []
+    assert not check_regression({"s": {"wall_s": 0.1, "events": 10}},
+                                committed, echo=lines.append)
+    assert any("no committed reference" in line for line in lines)
+
+
+def test_check_regression_fails_on_event_count_drift():
+    committed = {"scenarios": {"s": {"wall_s": 1.0, "events": 10}}}
+    lines = []
+    assert not check_regression({"s": {"wall_s": 0.5, "events": 11}},
+                                committed, echo=lines.append)
+    assert any("event count" in line for line in lines)

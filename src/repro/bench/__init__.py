@@ -7,7 +7,7 @@ call these with scaled-down defaults; pass larger parameters for
 paper-scale runs.
 """
 
-from repro.bench import ablations, common
+from repro.bench import ablations, common, perf
 from repro.bench.fig05_single_latency import run_fig05, format_fig05
 from repro.bench.fig06_load import run_fig06, format_fig06
 from repro.bench.fig07_divergence import run_fig07, format_fig07
@@ -26,6 +26,7 @@ from repro.bench.fig13_faults import (
 __all__ = [
     "ablations",
     "common",
+    "perf",
     "run_fig05", "format_fig05",
     "run_fig06", "format_fig06",
     "run_fig07", "format_fig07",

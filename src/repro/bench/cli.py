@@ -8,6 +8,12 @@ scale::
     python -m repro.bench fig07 --quick
     python -m repro.bench fig12 --seed 7
     python -m repro.bench all --quick
+
+It also hosts the wall-clock performance harness (see :mod:`repro.bench.perf`)::
+
+    python -m repro.bench perf
+    python -m repro.bench perf --quick --profile 25
+    python -m repro.bench perf --quick --check-regression
 """
 
 from __future__ import annotations
@@ -85,17 +91,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate figures from the Correctables paper (OSDI '16).")
-    parser.add_argument("figure", choices=list(_FIGURES) + ["all"],
-                        help="which figure to regenerate")
+    parser.add_argument("figure", choices=list(_FIGURES) + ["all", "perf"],
+                        help="which figure to regenerate (or 'perf' for the "
+                             "wall-clock performance harness)")
     parser.add_argument("--quick", action="store_true",
                         help="run a scaled-down configuration")
     parser.add_argument("--seed", type=int, default=None,
                         help="experiment seed (default: each harness's own)")
+    perf = parser.add_argument_group("perf harness (only with 'perf')")
+    perf.add_argument("--profile", type=int, default=0, metavar="N",
+                      help="print the cProfile top-N per scenario")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timed repetitions per scenario (best is kept)")
+    perf.add_argument("--label", default=None,
+                      help="label for the recorded BENCH_perf.json entry")
+    perf.add_argument("--perf-scenario", action="append", default=None,
+                      metavar="NAME", dest="perf_scenarios",
+                      help="run only this perf scenario (repeatable)")
+    perf.add_argument("--output", default=None, metavar="PATH",
+                      help="trajectory file (default: ./BENCH_perf.json)")
+    perf.add_argument("--no-save", action="store_true",
+                      help="measure and print without recording an entry")
+    perf.add_argument("--check-regression", action="store_true",
+                      help="exit non-zero when any scenario is more than 2x "
+                           "slower than the last committed entry (composes "
+                           "with recording; add --no-save to only gate)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.figure == "perf":
+        from repro.bench.perf import main_perf
+        return main_perf(quick=args.quick, repeats=args.repeats,
+                         profile_top=args.profile, label=args.label,
+                         scenarios=args.perf_scenarios, output=args.output,
+                         save=not args.no_save,
+                         regression_gate=args.check_regression,
+                         seed=args.seed)
     names = list(_FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         print(run_figure(name, quick=args.quick, seed=args.seed))

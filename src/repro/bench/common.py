@@ -103,26 +103,25 @@ def make_kv_issue(client: CassandraClient, system: str,
     read_quorum = profile["r"]
     icg = profile["icg"]
 
-    def _fault_keys(resp: Dict[str, Any]) -> Dict[str, Any]:
-        # Recovery outcomes, passed through for the fault experiments;
-        # always False on a healthy run, so the happy-path figures are
-        # unaffected (the runner ignores falsy entries).
-        return {"degraded": bool(resp.get("degraded", False)),
-                "failed": "error" in resp}
-
     def _issue(op_type: str, key: str, value: Optional[str],
                done: Callable[[Dict[str, Any]], None]) -> None:
+        # The "degraded"/"failed" keys carry recovery outcomes for the fault
+        # experiments; always False on a healthy run, so the happy-path
+        # figures are unaffected (the runner ignores falsy entries).  Built
+        # inline: one dict per completion, not three.
         if op_type == "update":
             client.write(key, value, w=write_quorum,
                          on_final=lambda resp: done(
                              {"final_latency_ms": resp["latency_ms"],
-                              **_fault_keys(resp)}))
+                              "degraded": bool(resp.get("degraded", False)),
+                              "failed": "error" in resp}))
             return
         if not icg:
             client.read(key, r=read_quorum, icg=False,
                         on_final=lambda resp: done(
                             {"final_latency_ms": resp["latency_ms"],
-                             **_fault_keys(resp)}))
+                             "degraded": bool(resp.get("degraded", False)),
+                             "failed": "error" in resp}))
             return
 
         state: Dict[str, Any] = {"prelim_value": None, "prelim_latency": None,
@@ -144,7 +143,8 @@ def make_kv_issue(client: CassandraClient, system: str,
                 "preliminary_latency_ms": state["prelim_latency"],
                 "had_preliminary": state["had_prelim"],
                 "diverged": diverged,
-                **_fault_keys(resp),
+                "degraded": bool(resp.get("degraded", False)),
+                "failed": failed,
             })
 
         client.read(key, r=read_quorum, icg=True,
@@ -168,12 +168,15 @@ def run_multi_region_load(scenario: CassandraScenario, system: str,
                           spec: WorkloadSpec, threads_per_client: int,
                           duration_ms: float, warmup_ms: float,
                           cooldown_ms: float, seed: int,
-                          measured_region: str = Region.IRL
+                          measured_region: str = Region.IRL,
+                          use_histograms: bool = False
                           ) -> Dict[str, RunResult]:
     """Run closed-loop load from every client region simultaneously.
 
     Returns the per-region :class:`RunResult`; the paper reports the client
     in Ireland, which callers pick via ``measured_region``.
+    ``use_histograms=True`` swaps the exact latency recorders for O(1)
+    histogram recorders (perf runs); figure harnesses keep the default.
     """
     runners: Dict[str, ClosedLoopRunner] = {}
     for region, client in scenario.clients.items():
@@ -188,6 +191,7 @@ def run_multi_region_load(scenario: CassandraScenario, system: str,
             warmup_ms=warmup_ms,
             cooldown_ms=cooldown_ms,
             label=f"{system}-{spec.name}-{region}",
+            use_histograms=use_histograms,
         )
         runners[region] = runner
     for runner in runners.values():

@@ -1,0 +1,381 @@
+"""Wall-clock performance harness for the simulator core.
+
+Every figure harness runs on simulated time, so the paper's numbers never
+depend on how fast the host executes events — but the *time to produce* a
+figure does.  This module measures that: it drives representative scenarios
+from the evaluation (the fig06 closed-loop YCSB load, the fig09 ZooKeeper
+queue, and a fig13 fault script) on real wall-clock time and reports
+events/second and operations/second for each.
+
+Results accumulate in ``BENCH_perf.json`` at the repository root so the
+project keeps a performance trajectory across PRs::
+
+    python -m repro.bench perf                 # full scale, append an entry
+    python -m repro.bench perf --quick         # small scale (CI smoke)
+    python -m repro.bench perf --profile 25    # cProfile top-25 per scenario
+    python -m repro.bench perf --check-regression   # gate: fail on >2x slowdown
+
+The scenarios are deterministic: for a given scale the event and operation
+counts never change, only the wall-clock time does.  Speedups are reported
+against the oldest recorded entry at the same scale (the pre-optimization
+baseline).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench.common import (
+    build_cassandra_scenario,
+    cassandra_config_for,
+    make_generator_factory,
+    make_kv_issue,
+    run_multi_region_load,
+)
+from repro.cassandra_sim.config import CassandraConfig
+from repro.faults import FaultInjector, cassandra_aliases, get_scenario
+from repro.sim.environment import SimEnvironment
+from repro.sim.topology import Region
+from repro.workloads.runner import ClosedLoopRunner
+from repro.workloads.ycsb import workload_by_name
+from repro.zookeeper_sim.cluster import ZooKeeperCluster
+
+#: Default location of the perf trajectory, resolved against the cwd (the
+#: repository root in CI and in the documented invocations).
+DEFAULT_RESULTS_PATH = Path("BENCH_perf.json")
+
+#: Wall-clock slack tolerated by ``--check-regression`` before failing.
+REGRESSION_FACTOR = 2.0
+
+
+# ---------------------------------------------------------------------------
+# scenario implementations
+# ---------------------------------------------------------------------------
+
+def run_closed_loop_scenario(threads_per_client: int = 24,
+                             duration_ms: float = 10_000.0,
+                             warmup_ms: float = 2_000.0,
+                             cooldown_ms: float = 1_000.0,
+                             record_count: int = 1_000,
+                             system: str = "CC2",
+                             workload: str = "A",
+                             seed: int = 42) -> Dict[str, int]:
+    """fig06-style closed-loop YCSB load against Correctable Cassandra."""
+    spec = workload_by_name(workload)
+    scenario = build_cassandra_scenario(
+        seed=seed, record_count=record_count,
+        client_regions=(Region.IRL, Region.FRK, Region.VRG),
+        config=cassandra_config_for(system))
+    results = run_multi_region_load(
+        scenario, system, spec, threads_per_client=threads_per_client,
+        duration_ms=duration_ms, warmup_ms=warmup_ms,
+        cooldown_ms=cooldown_ms, seed=seed, use_histograms=True)
+    return {
+        "events": scenario.env.scheduler.events_executed,
+        "ops": sum(result.total_ops for result in results.values()),
+    }
+
+
+def run_zk_queue_scenario(samples: int = 600, seed: int = 7) -> Dict[str, int]:
+    """fig09-style ICG enqueues against a ZooKeeper ensemble (leader in VRG)."""
+    env = SimEnvironment(seed=seed)
+    cluster = ZooKeeperCluster(env, leader_region=Region.VRG,
+                               follower_regions=[Region.IRL, Region.FRK])
+    client = cluster.add_client("perf-zk-client", region=Region.IRL,
+                                connect_region=Region.IRL)
+    for server in cluster.servers:
+        server.tree.create("/queue")
+    state = {"remaining": samples, "done": 0}
+
+    def _issue_next() -> None:
+        if state["remaining"] <= 0:
+            return
+        state["remaining"] -= 1
+        client.enqueue("/queue", f"element-{state['remaining']}", icg=True,
+                       on_final=lambda resp: (_finish(), _issue_next()))
+
+    def _finish() -> None:
+        state["done"] += 1
+
+    _issue_next()
+    env.run_until_idle()
+    return {"events": env.scheduler.events_executed, "ops": state["done"]}
+
+
+def run_fault_scenario(threads_per_client: int = 4,
+                       duration_ms: float = 8_000.0,
+                       warmup_ms: float = 2_000.0,
+                       cooldown_ms: float = 500.0,
+                       record_count: int = 300,
+                       scenario_name: str = "replica-crash",
+                       workload: str = "B",
+                       seed: int = 42) -> Dict[str, int]:
+    """fig13-style closed-loop load while a fault script injects failures."""
+    spec = workload_by_name(workload).with_distribution("zipfian")
+    built = build_cassandra_scenario(
+        seed=seed, record_count=record_count,
+        client_regions=(Region.IRL, Region.FRK, Region.VRG),
+        config=CassandraConfig.fault_tolerant(),
+        client_fallbacks=True)
+    injector = FaultInjector(built.env, schedule=get_scenario(scenario_name),
+                             aliases=cassandra_aliases(built.cluster))
+    runners: List[ClosedLoopRunner] = []
+    for index, (region, client) in enumerate(built.clients.items()):
+        runners.append(ClosedLoopRunner(
+            scheduler=built.env.scheduler,
+            issue=make_kv_issue(client, "CC2"),
+            make_generator=make_generator_factory(
+                spec, built.dataset, seed, f"perf-fault-{region}"),
+            threads=threads_per_client,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            cooldown_ms=cooldown_ms,
+            label=f"perf-fault-{region}",
+            faults=injector if index == 0 else None,
+        ))
+    for runner in runners:
+        runner.start()
+    built.env.run(until=max(r.end_time for r in runners) + 60_000.0)
+    return {
+        "events": built.env.scheduler.events_executed,
+        "ops": sum(r.result.total_ops for r in runners),
+    }
+
+
+#: scenario name -> (callable, full-scale kwargs, quick kwargs).
+PERF_SCENARIOS: Dict[str, tuple] = {
+    "fig06-closed-loop": (
+        run_closed_loop_scenario,
+        dict(threads_per_client=48, duration_ms=30_000.0,
+             warmup_ms=5_000.0, cooldown_ms=2_000.0, record_count=1_000),
+        dict(threads_per_client=8, duration_ms=8_000.0, warmup_ms=1_500.0,
+             cooldown_ms=500.0, record_count=500),
+    ),
+    "fig09-zk-queue": (
+        run_zk_queue_scenario,
+        dict(samples=3_000),
+        dict(samples=1_500),
+    ),
+    "fig13-replica-crash": (
+        run_fault_scenario,
+        dict(threads_per_client=8, duration_ms=20_000.0,
+             warmup_ms=3_000.0, cooldown_ms=1_000.0, record_count=300),
+        dict(threads_per_client=4, duration_ms=10_000.0, warmup_ms=2_000.0,
+             cooldown_ms=500.0, record_count=300),
+    ),
+}
+
+
+def scenario_names() -> Sequence[str]:
+    return tuple(PERF_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+def _measure(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
+             repeats: int) -> Dict[str, Any]:
+    """Run ``fn`` ``repeats`` times; report the best wall-clock time."""
+    walls: List[float] = []
+    counts: Dict[str, int] = {}
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        counts = fn(**kwargs)
+        walls.append(time.perf_counter() - start)
+    best = min(walls)
+    return {
+        "wall_s": round(best, 4),
+        "runs_s": [round(w, 4) for w in walls],
+        "events": counts["events"],
+        "ops": counts["ops"],
+        "events_per_s": round(counts["events"] / best, 1),
+        "ops_per_s": round(counts["ops"] / best, 1),
+    }
+
+
+def _profile(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
+             top: int) -> str:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(**kwargs)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
+             repeats: int = 3, profile_top: int = 0,
+             seed: Optional[int] = None,
+             echo: Callable[[str], None] = print) -> Dict[str, Any]:
+    """Measure every requested scenario; returns the scenario -> stats map.
+
+    ``seed`` overrides each scenario's default seed; note that the recorded
+    event/ops counts are seed-specific, so gate comparisons only make sense
+    between runs at the same seed (the default).
+    """
+    names = list(scenarios) if scenarios else list(PERF_SCENARIOS)
+    measured: Dict[str, Any] = {}
+    for name in names:
+        if name not in PERF_SCENARIOS:
+            raise KeyError(f"unknown perf scenario {name!r}; "
+                           f"choose from {list(PERF_SCENARIOS)}")
+        fn, full_kwargs, quick_kwargs = PERF_SCENARIOS[name]
+        kwargs = dict(quick_kwargs if quick else full_kwargs)
+        if seed is not None:
+            kwargs["seed"] = seed
+        measured[name] = _measure(fn, kwargs, repeats)
+        if profile_top > 0:
+            echo(f"--- cProfile top {profile_top}: {name} ---")
+            echo(_profile(fn, kwargs, profile_top))
+    return measured
+
+
+# ---------------------------------------------------------------------------
+# trajectory persistence (BENCH_perf.json)
+# ---------------------------------------------------------------------------
+
+def load_trajectory(path: Path = DEFAULT_RESULTS_PATH) -> Dict[str, Any]:
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {"schema": 1, "entries": []}
+
+
+def save_trajectory(trajectory: Dict[str, Any],
+                    path: Path = DEFAULT_RESULTS_PATH) -> None:
+    path.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+
+
+def baseline_entry(trajectory: Dict[str, Any],
+                   quick: bool) -> Optional[Dict[str, Any]]:
+    """The oldest entry at the same scale: the pre-optimization baseline."""
+    for entry in trajectory.get("entries", []):
+        if entry.get("quick") == quick:
+            return entry
+    return None
+
+
+def latest_entry(trajectory: Dict[str, Any],
+                 quick: bool) -> Optional[Dict[str, Any]]:
+    """The newest committed entry at the same scale."""
+    for entry in reversed(trajectory.get("entries", [])):
+        if entry.get("quick") == quick:
+            return entry
+    return None
+
+
+def append_entry(trajectory: Dict[str, Any], label: str, quick: bool,
+                 measured: Dict[str, Any]) -> Dict[str, Any]:
+    entry = {
+        "label": label,
+        "quick": quick,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "scenarios": measured,
+    }
+    trajectory.setdefault("entries", []).append(entry)
+    return entry
+
+
+def format_perf(measured: Dict[str, Any],
+                baseline: Optional[Dict[str, Any]] = None) -> str:
+    """Render the measurements (with speedups when a baseline exists)."""
+    from repro.metrics.summary import format_table
+
+    rows = []
+    for name, stats in measured.items():
+        speedup = "-"
+        if baseline is not None:
+            ref = baseline.get("scenarios", {}).get(name)
+            if ref and stats["wall_s"] > 0:
+                speedup = f"{ref['wall_s'] / stats['wall_s']:.2f}x"
+        rows.append([name, stats["wall_s"], stats["events"],
+                     stats["events_per_s"], stats["ops"], stats["ops_per_s"],
+                     speedup])
+    title = "Simulator core performance (wall-clock)"
+    if baseline is not None:
+        title += f" — speedup vs '{baseline.get('label', 'baseline')}'"
+    return format_table(
+        ["scenario", "wall (s)", "events", "events/s", "ops", "ops/s",
+         "speedup"],
+        rows, title=title)
+
+
+def check_regression(measured: Dict[str, Any], committed: Dict[str, Any],
+                     factor: float = REGRESSION_FACTOR,
+                     echo: Callable[[str], None] = print) -> bool:
+    """True when every scenario stays within ``factor`` of the committed entry.
+
+    Fails loudly — never silently — when a measured scenario has no
+    committed reference (a renamed/added scenario needs a re-recorded
+    baseline) or when the deterministic event count diverges from the
+    committed one (the scenario's scale changed, or determinism broke:
+    either way the wall-clock comparison would be meaningless).
+    """
+    ok = True
+    compared = 0
+    for name, stats in measured.items():
+        ref = committed.get("scenarios", {}).get(name)
+        if ref is None:
+            echo(f"perf-gate {name}: no committed reference for this "
+                 f"scenario — record a new baseline entry ... FAIL")
+            ok = False
+            continue
+        compared += 1
+        if ref.get("events") is not None and stats["events"] != ref["events"]:
+            echo(f"perf-gate {name}: event count {stats['events']} != "
+                 f"committed {ref['events']} (scenario scale or determinism "
+                 f"changed; re-record the baseline) ... FAIL")
+            ok = False
+            continue
+        limit = ref["wall_s"] * factor
+        verdict = "ok" if stats["wall_s"] <= limit else "REGRESSION"
+        if stats["wall_s"] > limit:
+            ok = False
+        echo(f"perf-gate {name}: {stats['wall_s']:.3f}s vs committed "
+             f"{ref['wall_s']:.3f}s (limit {limit:.3f}s) ... {verdict}")
+    if compared == 0 and not measured:
+        echo("perf-gate: nothing measured ... FAIL")
+        ok = False
+    return ok
+
+
+def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
+              label: Optional[str] = None,
+              scenarios: Optional[Sequence[str]] = None,
+              output: Optional[str] = None, save: bool = True,
+              regression_gate: bool = False,
+              seed: Optional[int] = None) -> int:
+    """Entry point behind ``python -m repro.bench perf``."""
+    path = Path(output) if output else DEFAULT_RESULTS_PATH
+    trajectory = load_trajectory(path)
+    committed = latest_entry(trajectory, quick)
+    measured = run_perf(scenarios=scenarios, quick=quick, repeats=repeats,
+                        profile_top=profile_top, seed=seed)
+    print(format_perf(measured, baseline=baseline_entry(trajectory, quick)))
+    gate_ok = True
+    if regression_gate:
+        if committed is None:
+            print(f"perf-gate: no committed entry at this scale in {path}; "
+                  "record a baseline first ... FAIL")
+            gate_ok = False
+        else:
+            gate_ok = check_regression(measured, committed)
+    # Recording composes with the gate so CI can gate and upload the very
+    # numbers it gated in one measurement pass.
+    if save:
+        append_entry(trajectory,
+                     label or ("quick" if quick else "full"),
+                     quick, measured)
+        save_trajectory(trajectory, path)
+        print(f"appended entry to {path}")
+    return 0 if gate_ok else 1

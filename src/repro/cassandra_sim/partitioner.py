@@ -40,9 +40,19 @@ class RingPartitioner:
                 self._ring.append((token, name))
         self._ring.sort()
         self._tokens = [token for token, _ in self._ring]
+        # The ring is immutable after construction, so preference lists are
+        # pure functions of the key and can be cached (hot path: every
+        # coordinated read/write hashes its key).
+        self._preference_cache: dict = {}
 
     def replicas_for(self, key: str) -> List[str]:
-        """The ordered preference list of replicas responsible for ``key``."""
+        """The ordered preference list of replicas responsible for ``key``.
+
+        The returned list is cached and shared — treat it as read-only.
+        """
+        cached = self._preference_cache.get(key)
+        if cached is not None:
+            return cached
         token = _hash_token(key)
         start = bisect_right(self._tokens, token) % len(self._ring)
         replicas: List[str] = []
@@ -52,6 +62,9 @@ class RingPartitioner:
             if name not in replicas:
                 replicas.append(name)
             index = (index + 1) % len(self._ring)
+        if len(self._preference_cache) >= 65536:
+            self._preference_cache.clear()
+        self._preference_cache[key] = replicas
         return replicas
 
     def primary_for(self, key: str) -> str:

@@ -40,6 +40,7 @@ class CassandraReplica(Node):
         self.config = config
         self.partitioner = partitioner
         self.table = LocalTable()
+        self._distance_cache: Dict[str, List[str]] = {}
         self._session_ids = itertools.count(1)
         self._write_seq = itertools.count(1)
         self._read_sessions: Dict[int, ReadSession] = {}
@@ -59,7 +60,15 @@ class CassandraReplica(Node):
 
     # -- helpers --------------------------------------------------------------
     def _other_replicas_by_distance(self, key: str) -> List[str]:
-        """Replicas for ``key`` other than this node, closest first."""
+        """Replicas for ``key`` other than this node, closest first.
+
+        Cached per key: the ring, node regions, and RTT matrix are all fixed
+        for the lifetime of a cluster.  The returned list is shared — treat
+        it as read-only.
+        """
+        cached = self._distance_cache.get(key)
+        if cached is not None:
+            return cached
         replicas = [r for r in self.partitioner.replicas_for(key) if r != self.name]
         topology = self.network.topology
 
@@ -67,7 +76,11 @@ class CassandraReplica(Node):
             other = self.network.node(name)
             return topology.rtt(self.region, other.region)
 
-        return sorted(replicas, key=lambda name: (_distance(name), name))
+        ordered = sorted(replicas, key=lambda name: (_distance(name), name))
+        if len(self._distance_cache) >= 65536:
+            self._distance_cache.clear()
+        self._distance_cache[key] = ordered
+        return ordered
 
     def _value_bytes(self, version: Optional[VersionedValue]) -> int:
         if version is None:

@@ -5,12 +5,18 @@ Nodes register under a unique name; :meth:`Network.send` delivers a
 delay drawn from the :class:`~repro.sim.topology.Topology`.  Every message's
 size is charged to the (source, destination) link, which is what the paper's
 bandwidth figures (Figures 8 and 10) measure on the client-replica links.
+
+The send path is written for throughput: with no faults installed the
+partition/degradation checks cost one truthiness test each (no ``frozenset``
+allocation), per-node byte totals are maintained as O(1) counters instead of
+scanning every link, and payload sizing is iterative with a cache for
+non-ASCII strings.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.scheduler import Scheduler
@@ -24,6 +30,23 @@ MESSAGE_HEADER_BYTES = 50
 
 _message_ids = itertools.count(1)
 
+#: UTF-8 sizes of non-ASCII strings seen by :func:`estimate_payload_size`
+#: (ASCII strings — the common case — are sized with ``len`` directly).
+_STR_SIZE_CACHE: Dict[str, int] = {}
+_STR_SIZE_CACHE_LIMIT = 4096
+
+
+def _utf8_size(text: str) -> int:
+    if text.isascii():
+        return len(text)
+    size = _STR_SIZE_CACHE.get(text)
+    if size is None:
+        if len(_STR_SIZE_CACHE) >= _STR_SIZE_CACHE_LIMIT:
+            _STR_SIZE_CACHE.clear()
+        size = len(text.encode("utf-8"))
+        _STR_SIZE_CACHE[text] = size
+    return size
+
 
 def estimate_payload_size(payload: Any) -> int:
     """Rough byte size of a message payload.
@@ -31,44 +54,77 @@ def estimate_payload_size(payload: Any) -> int:
     The simulator does not serialize payloads; this helper estimates sizes so
     bandwidth figures have realistic proportions.  Callers that know the true
     wire size (e.g. a 100 B YCSB value) should pass ``size_bytes`` explicitly
-    to :meth:`Network.send` instead.
+    to :meth:`Network.send` instead.  Traversal is iterative (no recursion
+    limit on deeply nested payloads) and sums are order-independent, so the
+    result matches the original recursive definition exactly.
     """
-    if payload is None:
-        return 0
-    if isinstance(payload, bool):
-        return 1
-    if isinstance(payload, (int, float)):
-        return 8
-    if isinstance(payload, bytes):
-        return len(payload)
-    if isinstance(payload, str):
-        return len(payload.encode("utf-8"))
-    if isinstance(payload, dict):
-        return sum(estimate_payload_size(k) + estimate_payload_size(v)
-                   for k, v in payload.items())
-    if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(estimate_payload_size(item) for item in payload)
-    return 32
+    total = 0
+    stack = [payload]
+    pop = stack.pop
+    while stack:
+        item = pop()
+        if item is None:
+            continue
+        tp = type(item)
+        if tp is str:
+            total += _utf8_size(item)
+        elif tp is bool:
+            total += 1
+        elif tp is int or tp is float:
+            total += 8
+        elif tp is bytes:
+            total += len(item)
+        elif tp is dict:
+            for key, value in item.items():
+                stack.append(key)
+                stack.append(value)
+        elif tp is list or tp is tuple or tp is set or tp is frozenset:
+            stack.extend(item)
+        # Subclasses of the above (rare) and unknown types:
+        elif isinstance(item, bool):
+            total += 1
+        elif isinstance(item, (int, float)):
+            total += 8
+        elif isinstance(item, bytes):
+            total += len(item)
+        elif isinstance(item, str):
+            total += _utf8_size(item)
+        elif isinstance(item, dict):
+            for key, value in item.items():
+                stack.append(key)
+                stack.append(value)
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+        else:
+            total += 32
+    return total
 
 
-@dataclass
 class Message:
     """A network message between two named nodes."""
 
-    src: str
-    dst: str
-    kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    size_bytes: int = 0
-    msg_id: int = 0
-    send_time: float = 0.0
+    __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "msg_id",
+                 "send_time")
 
-    def __post_init__(self) -> None:
-        if self.msg_id == 0:
-            self.msg_id = next(_message_ids)
-        if self.size_bytes <= 0:
-            self.size_bytes = MESSAGE_HEADER_BYTES + estimate_payload_size(
+    def __init__(self, src: str, dst: str, kind: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 size_bytes: Optional[int] = 0, msg_id: int = 0,
+                 send_time: float = 0.0) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = {} if payload is None else payload
+        self.msg_id = msg_id if msg_id else next(_message_ids)
+        self.send_time = send_time
+        if size_bytes is None or size_bytes <= 0:
+            size_bytes = MESSAGE_HEADER_BYTES + estimate_payload_size(
                 self.payload)
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(src={self.src!r}, dst={self.dst!r}, "
+                f"kind={self.kind!r}, size_bytes={self.size_bytes}, "
+                f"msg_id={self.msg_id})")
 
 
 @dataclass
@@ -83,6 +139,30 @@ class LinkStats:
         self.bytes += size_bytes
 
 
+class _FrozenLinkStats(LinkStats):
+    """The shared all-zero stats returned for links that never carried
+    traffic.  Immutable, so callers cannot corrupt one another's view by
+    mutating what used to be a per-call throwaway instance."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "messages", 0)
+        object.__setattr__(self, "bytes", 0)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(
+            "this LinkStats is the shared zero for unused links; "
+            "it cannot be mutated")
+
+    def record(self, size_bytes: int) -> None:
+        raise AttributeError(
+            "this LinkStats is the shared zero for unused links; "
+            "record traffic through Network.send instead")
+
+
+#: Returned by :meth:`Network.link_stats` for links with no recorded traffic.
+EMPTY_LINK_STATS = _FrozenLinkStats()
+
+
 class Network:
     """Delivers messages between registered nodes with WAN latencies."""
 
@@ -91,8 +171,11 @@ class Network:
         self.topology = topology
         self._nodes: Dict[str, "Node"] = {}
         self._links: Dict[Tuple[str, str], LinkStats] = {}
-        self._partitioned: set[frozenset] = set()
-        self._partitioned_regions: set[frozenset] = set()
+        #: O(1) per-node byte totals (every link where the node is an
+        #: endpoint), maintained on send instead of scanned on demand.
+        self._node_bytes: Dict[str, int] = {}
+        self._partitioned: set = set()
+        self._partitioned_regions: set = set()
         #: Extra one-way latency (ms) per node pair or region pair; region
         #: keys use the ``"region:<name>"`` form so the two namespaces never
         #: collide with node names.
@@ -139,7 +222,8 @@ class Network:
         self._partitioned_regions.discard(frozenset({region_a, region_b}))
 
     def is_partitioned(self, name_a: str, name_b: str) -> bool:
-        if frozenset({name_a, name_b}) in self._partitioned:
+        if self._partitioned \
+                and frozenset({name_a, name_b}) in self._partitioned:
             return True
         if self._partitioned_regions:
             node_a = self._nodes.get(name_a)
@@ -186,33 +270,50 @@ class Network:
         sender*, however, sends nothing at all: work still queued on a
         crashed node must not leak protocol messages (or bytes) out of it.
         """
-        if src not in self._nodes:
+        nodes = self._nodes
+        src_node = nodes.get(src)
+        if src_node is None:
             raise KeyError(f"unknown source node: {src}")
-        if dst not in self._nodes:
+        dst_node = nodes.get(dst)
+        if dst_node is None:
             raise KeyError(f"unknown destination node: {dst}")
-        message = Message(src=src, dst=dst, kind=kind,
-                          payload=payload or {},
-                          size_bytes=size_bytes or 0,
-                          send_time=self.scheduler.now())
-        if not self._nodes[src].alive:
+        message = Message(src, dst, kind, payload, size_bytes,
+                          send_time=self.scheduler.clock._now)
+        if not src_node.alive:
             self.messages_dropped += 1
             return message
         self.messages_sent += 1
-        self._link(src, dst).record(message.size_bytes)
+        size = message.size_bytes
+        key = (src, dst)
+        stats = self._links.get(key)
+        if stats is None:
+            stats = self._links[key] = LinkStats()
+        stats.messages += 1
+        stats.bytes += size
+        node_bytes = self._node_bytes
+        node_bytes[src] = node_bytes.get(src, 0) + size
+        if dst != src:
+            node_bytes[dst] = node_bytes.get(dst, 0) + size
 
-        if self.is_partitioned(src, dst) or not self._nodes[dst].alive:
+        # Zero-fault fast path: with no partitions installed the check is
+        # two falsy tests, no frozenset allocation.
+        if self._partitioned or self._partitioned_regions:
+            if self.is_partitioned(src, dst):
+                self.messages_dropped += 1
+                return message
+        if not dst_node.alive:
             self.messages_dropped += 1
             return message
 
-        src_node = self._nodes[src]
-        dst_node = self._nodes[dst]
-        same_host = (src_node.host is not None
-                     and src_node.host == dst_node.host) or src == dst
+        src_host = src_node.host
+        same_host = (src_host is not None
+                     and src_host == dst_node.host) or src == dst
         delay = self.topology.one_way(src_node.region, dst_node.region,
                                       same_host=same_host)
-        delay += self.link_extra_ms(src, dst)
-        self.scheduler.schedule(delay + extra_delay_ms,
-                                self._deliver, message)
+        if self._link_extra_ms:
+            delay += self.link_extra_ms(src, dst)
+        self.scheduler.schedule_call(delay + extra_delay_ms,
+                                     self._deliver, (message,))
         return message
 
     def _deliver(self, message: Message) -> None:
@@ -226,13 +327,19 @@ class Network:
     # -- accounting --------------------------------------------------------
     def _link(self, src: str, dst: str) -> LinkStats:
         key = (src, dst)
-        if key not in self._links:
-            self._links[key] = LinkStats()
-        return self._links[key]
+        stats = self._links.get(key)
+        if stats is None:
+            stats = self._links[key] = LinkStats()
+        return stats
 
     def link_stats(self, src: str, dst: str) -> LinkStats:
-        """Traffic on the directed link src→dst (zeros if never used)."""
-        return self._links.get((src, dst), LinkStats())
+        """Traffic on the directed link src→dst.
+
+        Links that never carried traffic share one immutable zero instance
+        (:data:`EMPTY_LINK_STATS`); callers must treat the result as
+        read-only.
+        """
+        return self._links.get((src, dst), EMPTY_LINK_STATS)
 
     def bytes_between(self, name_a: str, name_b: str) -> int:
         """Total bytes exchanged between two nodes, both directions."""
@@ -241,11 +348,7 @@ class Network:
 
     def bytes_touching(self, name: str) -> int:
         """Total bytes on every link where ``name`` is an endpoint."""
-        total = 0
-        for (src, dst), stats in self._links.items():
-            if src == name or dst == name:
-                total += stats.bytes
-        return total
+        return self._node_bytes.get(name, 0)
 
     def total_bytes(self) -> int:
         return sum(stats.bytes for stats in self._links.values())
@@ -253,6 +356,7 @@ class Network:
     def reset_stats(self) -> None:
         """Clear byte counters (used to scope measurement windows)."""
         self._links.clear()
+        self._node_bytes.clear()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0

@@ -34,13 +34,14 @@ class ProcessingQueue:
         """
         if service_time_ms < 0:
             raise ValueError("service time must be non-negative")
-        now = self._scheduler.now()
-        start = max(now, self._busy_until)
+        now = self._scheduler.clock._now
+        start = now if now > self._busy_until else self._busy_until
         finish = start + service_time_ms
         self._busy_until = finish
         self.jobs_processed += 1
         self.busy_time += service_time_ms
-        self._scheduler.schedule_at(finish, fn, *args, **kwargs)
+        # Queue jobs are never cancelled: take the no-handle fast path.
+        self._scheduler.schedule_call_at(finish, fn, args, kwargs)
         return finish
 
     def queue_delay(self) -> float:
@@ -71,6 +72,10 @@ class Node:
         #: fault injection raises it to model a slow (but live) replica.
         self.slowdown_factor = 1.0
         self.queue = ProcessingQueue(self.scheduler)
+        #: message kind -> bound ``on_<kind>`` handler, filled on first
+        #: dispatch (a ``getattr`` with string formatting per message adds
+        #: up on the delivery hot path).
+        self._handler_cache: dict = {}
         network.register(self)
 
     # -- lifecycle ---------------------------------------------------------
@@ -98,12 +103,16 @@ class Node:
 
     def handle_message(self, message: Message) -> None:
         """Dispatch an incoming message to ``on_<kind>`` if defined."""
-        handler = getattr(self, f"on_{message.kind}", None)
+        kind = message.kind
+        handler = self._handler_cache.get(kind)
         if handler is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} ({self.name}) has no handler for "
-                f"message kind '{message.kind}'"
-            )
+            handler = getattr(self, f"on_{kind}", None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} ({self.name}) has no handler for "
+                    f"message kind '{message.kind}'"
+                )
+            self._handler_cache[kind] = handler
         handler(message)
 
     # -- local work --------------------------------------------------------

@@ -3,6 +3,22 @@
 Events are callbacks ordered by (time, sequence-number).  The sequence number
 makes execution order deterministic for events scheduled at the same instant,
 which in turn makes every experiment in :mod:`repro.bench` reproducible.
+
+The heap stores plain ``(time, seq, fn, args, kwargs, event)`` tuples so
+ordering is decided by C-level tuple comparison on the first two fields
+(``seq`` is unique, so nothing beyond it is ever compared).  Two write paths
+feed it:
+
+* :meth:`Scheduler.schedule` / :meth:`Scheduler.schedule_at` return an
+  :class:`Event` handle so callers can cancel pending work (timeouts);
+* :meth:`Scheduler.schedule_call` / :meth:`Scheduler.schedule_call_at` are
+  the fire-and-forget fast path — no handle, no kwargs mapping, and no
+  per-event object allocation.  Message deliveries and processing-queue
+  jobs (the dominant event classes) use it.
+
+Cancelled events are skipped when popped and additionally purged in bulk
+once they outnumber live entries, so long fault runs with many abandoned
+timeouts do not grow the heap unboundedly.
 """
 
 from __future__ import annotations
@@ -12,28 +28,33 @@ from typing import Any, Callable, Optional
 
 from repro.sim.clock import Clock
 
+#: Lazy-purge trigger: compact the heap once at least this many cancelled
+#: events are queued *and* they outnumber the live ones.
+_PURGE_THRESHOLD = 512
+
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
     Instances are returned by :meth:`Scheduler.schedule` so callers can
     cancel pending work (e.g. a timeout that is no longer needed).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_scheduler")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
-                 args: tuple, kwargs: dict) -> None:
+    def __init__(self, time: float, seq: int,
+                 scheduler: Optional["Scheduler"] = None) -> None:
         self.time = time
         self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.kwargs = kwargs
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._scheduler is not None:
+                self._scheduler._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -48,9 +69,11 @@ class Scheduler:
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._heap: list[Event] = []
+        self._heap: list = []  # (time, seq, fn, args, kwargs|None, Event|None)
         self._seq = 0
         self._events_executed = 0
+        self._cancelled = 0
+        self._trace: Optional[list] = None
 
     @property
     def events_executed(self) -> int:
@@ -59,36 +82,106 @@ class Scheduler:
 
     def now(self) -> float:
         """Current simulated time in milliseconds."""
-        return self.clock.now()
+        return self.clock._now
 
-    def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+    def pending(self, live_only: bool = False) -> int:
+        """Number of events still queued.
+
+        By default this counts cancelled-but-unpopped entries too (they
+        still occupy heap slots); ``live_only=True`` reports only the events
+        that will actually execute.
+        """
+        if live_only:
+            return len(self._heap) - self._cancelled
         return len(self._heap)
 
+    # -- tracing (determinism fingerprints) --------------------------------
+    def start_trace(self) -> list:
+        """Record ``(time, seq)`` for every executed event from now on.
+
+        Returns the (live) list the trace accumulates into; used by the
+        determinism regression tests to fingerprint the exact execution
+        order of a run.  Takes effect from the next :meth:`run`/:meth:`step`
+        call.
+        """
+        self._trace = []
+        return self._trace
+
+    def stop_trace(self) -> None:
+        self._trace = None
+
+    # -- scheduling --------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
                  **kwargs: Any) -> Event:
         """Schedule ``fn(*args, **kwargs)`` to run ``delay`` ms from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self.now() + delay, fn, *args, **kwargs)
+        timestamp = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(timestamp, seq, self)
+        heapq.heappush(self._heap,
+                       (timestamp, seq, fn, args, kwargs or None, event))
+        return event
 
     def schedule_at(self, timestamp: float, fn: Callable[..., Any],
                     *args: Any, **kwargs: Any) -> Event:
         """Schedule ``fn`` at an absolute simulated time."""
-        if timestamp < self.now():
+        if timestamp < self.clock._now:
             raise ValueError(
                 f"cannot schedule in the past: {timestamp} < {self.now()}"
             )
-        event = Event(timestamp, self._seq, fn, args, kwargs)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(timestamp, seq, self)
+        heapq.heappush(self._heap,
+                       (timestamp, seq, fn, args, kwargs or None, event))
         return event
+
+    def schedule_call(self, delay: float, fn: Callable[..., Any],
+                      args: tuple = ()) -> None:
+        """Fire-and-forget :meth:`schedule`: no kwargs, no cancellation
+        handle, no per-event allocation.  The hot path for message
+        deliveries and queue jobs."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap,
+                       (self.clock._now + delay, seq, fn, args, None, None))
+
+    def schedule_call_at(self, timestamp: float, fn: Callable[..., Any],
+                         args: tuple = (),
+                         kwargs: Optional[dict] = None) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`schedule_call`)."""
+        if timestamp < self.clock._now:
+            raise ValueError(
+                f"cannot schedule in the past: {timestamp} < {self.now()}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap,
+                       (timestamp, seq, fn, args, kwargs or None, None))
 
     def call_soon(self, fn: Callable[..., Any], *args: Any,
                   **kwargs: Any) -> Event:
         """Schedule ``fn`` at the current instant (after pending same-time events)."""
         return self.schedule(0.0, fn, *args, **kwargs)
 
+    # -- cancellation bookkeeping ------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts the heap when cancelled
+        entries dominate, so abandoned timeouts cannot grow it unboundedly."""
+        self._cancelled += 1
+        if (self._cancelled >= _PURGE_THRESHOLD
+                and self._cancelled * 2 > len(self._heap)):
+            # In place: the run() loop holds a reference to this list.
+            self._heap[:] = [entry for entry in self._heap
+                             if entry[5] is None or not entry[5].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
+    # -- execution ---------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.
 
@@ -96,12 +189,24 @@ class Scheduler:
             True if an event was executed, False if the queue was empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time)
+            entry = heapq.heappop(self._heap)
+            event = entry[5]
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                # Detach: a late cancel() on an already-fired event must not
+                # perturb the cancelled-entry bookkeeping.
+                event._scheduler = None
+            self.clock.advance_to(entry[0])
             self._events_executed += 1
-            event.fn(*event.args, **event.kwargs)
+            if self._trace is not None:
+                self._trace.append((entry[0], entry[1]))
+            kwargs = entry[4]
+            if kwargs:
+                entry[2](*entry[3], **kwargs)
+            else:
+                entry[2](*entry[3])
             return True
         return False
 
@@ -113,24 +218,45 @@ class Scheduler:
         ``until`` is an absolute simulated time; events scheduled strictly
         after it remain queued and the clock stops at ``until``.
         """
+        heap = self._heap
+        clock = self.clock
+        trace = self._trace
+        pop = heapq.heappop
+        bounded = until is not None or max_events is not None
         executed = 0
-        while self._heap:
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+        while heap:
+            entry = pop(heap)
+            event = entry[5]
+            if event is not None and event.cancelled:
+                self._cancelled -= 1
                 continue
-            if until is not None and event.time > until:
-                self.clock.advance_to(until)
-                return
-            if max_events is not None and executed >= max_events:
-                return
-            heapq.heappop(self._heap)
-            self.clock.advance_to(event.time)
+            if bounded:
+                if until is not None and entry[0] > until:
+                    heapq.heappush(heap, entry)
+                    clock.advance_to(until)
+                    return
+                if max_events is not None and executed >= max_events:
+                    heapq.heappush(heap, entry)
+                    return
+            if event is not None:
+                # Detach: a late cancel() on an already-fired event must not
+                # perturb the cancelled-entry bookkeeping.
+                event._scheduler = None
+            # The heap pops in nondecreasing time order, so this direct
+            # assignment cannot move the clock backwards (Clock.advance_to
+            # enforces the same invariant with a per-event method call).
+            clock._now = float(entry[0])
             self._events_executed += 1
             executed += 1
-            event.fn(*event.args, **event.kwargs)
-        if until is not None and until > self.now():
-            self.clock.advance_to(until)
+            if trace is not None:
+                trace.append((entry[0], entry[1]))
+            kwargs = entry[4]
+            if kwargs:
+                entry[2](*entry[3], **kwargs)
+            else:
+                entry[2](*entry[3])
+        if until is not None and until > clock._now:
+            clock.advance_to(until)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain.  Guards against runaway simulations."""

@@ -62,16 +62,31 @@ class Topology:
         if rtts:
             for pair, value in rtts.items():
                 self._rtts[frozenset(pair)] = float(value)
+        #: (region_a, region_b) -> base one-way delay; avoids building a
+        #: ``frozenset`` per message on the send hot path.  Invalidated by
+        #: :meth:`set_rtt` and by assigning :attr:`intra_region_rtt_ms`.
+        self._one_way_base: Dict[Tuple[str, str], float] = {}
         self.intra_region_rtt_ms = intra_region_rtt_ms
         self.loopback_rtt_ms = loopback_rtt_ms
         self.jitter_fraction = jitter_fraction
         self._rng = rng if rng is not None else random.Random(0)
+
+    @property
+    def intra_region_rtt_ms(self) -> float:
+        """RTT between two distinct hosts in the same region."""
+        return self._intra_region_rtt_ms
+
+    @intra_region_rtt_ms.setter
+    def intra_region_rtt_ms(self, value: float) -> None:
+        self._intra_region_rtt_ms = value
+        self._one_way_base.clear()
 
     def set_rtt(self, region_a: str, region_b: str, rtt_ms: float) -> None:
         """Override the RTT between two regions."""
         if region_a == region_b:
             raise ValueError("use intra_region_rtt_ms for same-region RTT")
         self._rtts[frozenset({region_a, region_b})] = float(rtt_ms)
+        self._one_way_base.clear()
 
     def rtt(self, region_a: str, region_b: str) -> float:
         """Baseline (jitter-free) round-trip time between two regions."""
@@ -88,7 +103,11 @@ class Topology:
         if same_host:
             base = self.loopback_rtt_ms / 2.0
         else:
-            base = self.rtt(region_a, region_b) / 2.0
+            key = (region_a, region_b)
+            base = self._one_way_base.get(key)
+            if base is None:
+                base = self.rtt(region_a, region_b) / 2.0
+                self._one_way_base[key] = base
         if self.jitter_fraction <= 0:
             return base
         jitter = self._rng.uniform(0.0, self.jitter_fraction) * base

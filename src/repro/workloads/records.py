@@ -12,13 +12,35 @@ import string
 from typing import Dict, List
 
 _PRINTABLE = string.ascii_letters + string.digits
+_PRINTABLE_LEN = len(_PRINTABLE)          # 62
+_PRINTABLE_BITS = _PRINTABLE_LEN.bit_length()  # 6
 
 
 def make_value(rng: random.Random, size_bytes: int = 100) -> str:
-    """A random printable string of ``size_bytes`` characters."""
+    """A random printable string of ``size_bytes`` characters.
+
+    This is an inlined, loop-hoisted equivalent of
+    ``"".join(rng.choice(_PRINTABLE) for _ in range(size_bytes))``: it
+    consumes exactly the same ``getrandbits`` sequence ``Random.choice``
+    does (draw ``bit_length(62)`` bits, reject values >= 62), so both the
+    produced strings and the generator state after the call are
+    bit-identical to the original implementation — value generation is a
+    hot path, but it must never perturb seeded experiments.
+    """
     if size_bytes <= 0:
         raise ValueError("value size must be positive")
-    return "".join(rng.choice(_PRINTABLE) for _ in range(size_bytes))
+    getrandbits = rng.getrandbits
+    table = _PRINTABLE
+    bits = _PRINTABLE_BITS
+    limit = _PRINTABLE_LEN
+    chars = []
+    append = chars.append
+    for _ in range(size_bytes):
+        r = getrandbits(bits)
+        while r >= limit:
+            r = getrandbits(bits)
+        append(table[r])
+    return "".join(chars)
 
 
 class Dataset:

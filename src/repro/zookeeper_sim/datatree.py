@@ -8,7 +8,12 @@ name — the primitive the distributed-queue recipe is built on.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional, Tuple
+
+#: Memoized ``path -> components`` (every server resolves the same queue and
+#: parent paths over and over; splitting is on the commit hot path).
+_SPLIT_CACHE: Dict[str, Tuple[str, ...]] = {}
+_SPLIT_CACHE_LIMIT = 4096
 
 
 class NoNodeError(KeyError):
@@ -40,17 +45,28 @@ class DataTree:
 
     # -- path helpers ------------------------------------------------------
     @staticmethod
-    def _split(path: str) -> List[str]:
-        if not path.startswith("/"):
-            raise ValueError(f"paths must be absolute, got {path!r}")
-        return [part for part in path.split("/") if part]
+    def _split(path: str) -> Tuple[str, ...]:
+        parts = _SPLIT_CACHE.get(path)
+        if parts is None:
+            if not path.startswith("/"):
+                raise ValueError(f"paths must be absolute, got {path!r}")
+            parts = tuple(part for part in path.split("/") if part)
+            if len(_SPLIT_CACHE) >= _SPLIT_CACHE_LIMIT:
+                # Sequential-queue workloads produce unbounded one-shot
+                # paths; evict the most recent insertion (dicts pop LIFO)
+                # so the long-lived hot entries (queue/parent paths, cached
+                # early) survive instead of being wholesale cleared.
+                _SPLIT_CACHE.popitem()
+            _SPLIT_CACHE[path] = parts
+        return parts
 
     def _lookup(self, path: str) -> Znode:
         node = self._root
         for part in self._split(path):
-            if part not in node.children:
+            child = node.children.get(part)
+            if child is None:
                 raise NoNodeError(path)
-            node = node.children[part]
+            node = child
         return node
 
     def exists(self, path: str) -> bool:
@@ -68,7 +84,13 @@ class DataTree:
         if not parts:
             raise ValueError("cannot create the root znode")
         parent_path = "/" + "/".join(parts[:-1])
-        parent = self._lookup(parent_path) if parts[:-1] else self._root
+        # Walk to the parent directly instead of re-splitting parent_path.
+        parent = self._root
+        for part in parts[:-1]:
+            child = parent.children.get(part)
+            if child is None:
+                raise NoNodeError(parent_path)
+            parent = child
         name = parts[-1]
         if sequential:
             name = f"{name}{parent.next_sequence:010d}"

@@ -20,6 +20,17 @@ class TestParser:
         args = build_parser().parse_args(["fig12", "--seed", "7"])
         assert args.seed == 7
 
+    def test_perf_options_parsed(self):
+        args = build_parser().parse_args(
+            ["perf", "--quick", "--profile", "10", "--repeats", "2",
+             "--label", "x", "--perf-scenario", "fig09-zk-queue",
+             "--no-save", "--check-regression"])
+        assert args.figure == "perf" and args.quick
+        assert args.profile == 10 and args.repeats == 2
+        assert args.label == "x"
+        assert args.perf_scenarios == ["fig09-zk-queue"]
+        assert args.no_save and args.check_regression
+
 
 class TestRunFigure:
     def test_unknown_name_raises(self):

@@ -1,0 +1,96 @@
+"""Determinism regression tests guarding the simulator fast path.
+
+The golden fingerprints in ``data/determinism_golden.json`` were recorded on
+the pre-optimization simulator core: they hash the exact event execution
+order of a closed-loop run and the rendered figure reports for fixed seeds.
+Any rewrite of the scheduler/network/metrics hot path must keep every hash
+bit-identical — same events in the same order, same figure numbers.
+
+Regenerate only when *intentionally* changing simulation behaviour::
+
+    PYTHONPATH=src python tests/bench/test_determinism.py --regenerate
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, Iterable
+
+import pytest
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "determinism_golden.json"
+
+
+def _sha(parts: Iterable) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def trace_fingerprint() -> Dict[str, object]:
+    """Event-trace + metrics fingerprint of a small closed-loop CC2 run."""
+    from repro.bench.common import (
+        build_cassandra_scenario, cassandra_config_for, run_multi_region_load)
+    from repro.sim.topology import Region
+    from repro.workloads.ycsb import workload_by_name
+
+    scenario = build_cassandra_scenario(
+        seed=11, record_count=60,
+        client_regions=(Region.IRL, Region.FRK),
+        config=cassandra_config_for("CC2"))
+    trace = scenario.env.scheduler.start_trace()
+    results = run_multi_region_load(
+        scenario, "CC2", workload_by_name("A"), threads_per_client=2,
+        duration_ms=2_500.0, warmup_ms=500.0, cooldown_ms=250.0, seed=11)
+    summaries = [results[region].summary() for region in sorted(results)]
+    return {
+        "events": scenario.env.scheduler.events_executed,
+        "messages": scenario.env.network.messages_sent,
+        "total_bytes": scenario.env.network.total_bytes(),
+        "trace_sha256": _sha(trace),
+        "summary_sha256": _sha(summaries),
+    }
+
+
+def figure_fingerprints() -> Dict[str, str]:
+    """Hashes of the rendered quick-scale figure reports (fixed seeds)."""
+    from repro.bench.cli import run_figure
+
+    return {name: _sha([run_figure(name, quick=True)])
+            for name in ("fig06", "fig09")}
+
+
+def _golden() -> Dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}; regenerate with "
+                    f"'python {__file__} --regenerate'")
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+class TestDeterminism:
+    def test_event_trace_matches_golden(self):
+        assert trace_fingerprint() == _golden()["trace"]
+
+    def test_event_trace_is_repeatable(self):
+        assert trace_fingerprint() == trace_fingerprint()
+
+    @pytest.mark.slow
+    def test_quick_figures_match_golden(self):
+        assert figure_fingerprints() == _golden()["figures"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        raise SystemExit(f"usage: python {sys.argv[0]} --regenerate")
+    golden = {"trace": trace_fingerprint(), "figures": figure_fingerprints()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+    print(json.dumps(golden, indent=2))

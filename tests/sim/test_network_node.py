@@ -185,6 +185,55 @@ class TestAccounting:
         env.network.send("a", "b", "x", size_bytes=77)
         assert env.network.bytes_between("a", "b") == 77
 
+    def test_unused_link_stats_are_zero(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        stats = env.network.link_stats("a", "ghost")
+        assert stats.messages == 0 and stats.bytes == 0
+
+    def test_unused_link_stats_are_immutable(self):
+        # Every unused link shares one zero instance; mutating it (a bug in
+        # the caller) must fail loudly instead of corrupting other callers.
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        stats = env.network.link_stats("a", "ghost")
+        with pytest.raises(AttributeError):
+            stats.record(100)
+        with pytest.raises(AttributeError):
+            stats.bytes = 5
+        assert env.network.link_stats("x", "y").bytes == 0
+
+    def test_used_link_stats_stay_mutable_records(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        Recorder("b", Region.FRK, env.network)
+        env.network.send("a", "b", "x", size_bytes=10)
+        env.network.send("a", "b", "x", size_bytes=15)
+        stats = env.network.link_stats("a", "b")
+        assert stats.messages == 2 and stats.bytes == 25
+
+    def test_bytes_touching_matches_link_scan(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        Recorder("b", Region.FRK, env.network)
+        Recorder("c", Region.VRG, env.network)
+        env.network.send("a", "b", "x", size_bytes=10)
+        env.network.send("b", "a", "x", size_bytes=20)
+        env.network.send("c", "a", "x", size_bytes=40)
+        env.network.send("b", "c", "x", size_bytes=80)
+        scan = {name: sum(s.bytes for (src, dst), s in env.network._links.items()
+                          if src == name or dst == name)
+                for name in ("a", "b", "c")}
+        assert {n: env.network.bytes_touching(n) for n in scan} == scan
+
+    def test_bytes_touching_resets(self):
+        env = _make_env()
+        Recorder("a", Region.IRL, env.network)
+        Recorder("b", Region.FRK, env.network)
+        env.network.send("a", "b", "x", size_bytes=10)
+        env.network.reset_stats()
+        assert env.network.bytes_touching("a") == 0
+
 
 class TestProcessingQueue:
     def test_idle_queue_serves_immediately(self):

@@ -145,6 +145,133 @@ class TestRunControl:
         assert scheduler.events_executed == 5
 
 
+class TestFastPathScheduling:
+    def test_schedule_call_runs_fn_with_args(self, scheduler):
+        seen = []
+        scheduler.schedule_call(5.0, seen.append, ("x",))
+        scheduler.run_until_idle()
+        assert seen == ["x"]
+        assert scheduler.now() == 5.0
+
+    def test_schedule_call_negative_delay_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.schedule_call(-1.0, lambda: None)
+
+    def test_schedule_call_at_in_past_rejected(self, scheduler):
+        scheduler.schedule(5, lambda: None)
+        scheduler.run_until_idle()
+        with pytest.raises(ValueError):
+            scheduler.schedule_call_at(1.0, lambda: None)
+
+    def test_schedule_call_interleaves_with_events_in_seq_order(self, scheduler):
+        order = []
+        scheduler.schedule(1.0, order.append, "a")
+        scheduler.schedule_call(1.0, order.append, ("b",))
+        scheduler.schedule(1.0, order.append, "c")
+        scheduler.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_call_at_kwargs(self, scheduler):
+        seen = {}
+        scheduler.schedule_call_at(2.0, seen.update, (), {"answer": 42})
+        scheduler.run_until_idle()
+        assert seen == {"answer": 42}
+
+
+class TestCancellationBookkeeping:
+    def test_pending_counts_cancelled_by_default(self, scheduler):
+        live = scheduler.schedule(1, lambda: None)
+        dead = scheduler.schedule(2, lambda: None)
+        dead.cancel()
+        assert scheduler.pending() == 2
+        assert scheduler.pending(live_only=True) == 1
+        live.cancel()
+        assert scheduler.pending(live_only=True) == 0
+
+    def test_cancel_after_execution_is_inert(self, scheduler):
+        fired = scheduler.schedule(1, lambda: None)
+        queued = scheduler.schedule(10, lambda: None)
+        scheduler.run(until=5)
+        fired.cancel()  # late cancel of an already-fired timeout
+        assert scheduler.pending() == 1
+        assert scheduler.pending(live_only=True) == 1
+        queued.cancel()
+        assert scheduler.pending(live_only=True) == 0
+
+    def test_cancel_after_step_is_inert(self, scheduler):
+        fired = scheduler.schedule(1, lambda: None)
+        scheduler.schedule(10, lambda: None)
+        assert scheduler.step() is True
+        fired.cancel()
+        assert scheduler.pending(live_only=True) == 1
+
+    def test_cancel_of_pushed_back_head_still_counted(self, scheduler):
+        late = scheduler.schedule(50, lambda: None)
+        scheduler.run(until=10)  # pops and re-queues the head entry
+        late.cancel()
+        assert scheduler.pending(live_only=True) == 0
+        scheduler.run_until_idle()
+        assert scheduler.events_executed == 0
+
+    def test_double_cancel_counted_once(self, scheduler):
+        event = scheduler.schedule(1, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert scheduler.pending(live_only=True) == 0
+        assert scheduler.pending() == 1
+
+    def test_mass_cancellation_compacts_heap(self, scheduler):
+        events = [scheduler.schedule(i + 1, lambda: None) for i in range(2000)]
+        for event in events[:1500]:
+            event.cancel()
+        # The lazy purge kicks in once cancellations dominate: the heap
+        # shrinks without running anything.
+        assert scheduler.pending() < 2000
+        assert scheduler.pending(live_only=True) == 500
+        scheduler.run_until_idle()
+        assert scheduler.events_executed == 500
+
+    def test_cancelled_events_skipped_after_compaction(self, scheduler):
+        seen = []
+        keep = scheduler.schedule(10, seen.append, "keep")
+        cancelled = [scheduler.schedule(5, seen.append, f"drop{i}")
+                     for i in range(1000)]
+        for event in cancelled:
+            event.cancel()
+        scheduler.run_until_idle()
+        assert seen == ["keep"]
+
+    def test_purge_during_run_keeps_future_events(self, scheduler):
+        seen = []
+        later = [scheduler.schedule(50 + i, seen.append, i)
+                 for i in range(600)]
+
+        def cancel_most():
+            for event in later[:590]:
+                event.cancel()
+
+        scheduler.schedule(1, cancel_most)
+        scheduler.run_until_idle()
+        assert seen == list(range(590, 600))
+
+
+class TestTrace:
+    def test_trace_records_time_and_seq(self, scheduler):
+        trace = scheduler.start_trace()
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_until_idle()
+        assert [t for t, _ in trace] == [1.0, 2.0]
+        assert len({seq for _, seq in trace}) == 2
+
+    def test_stop_trace(self, scheduler):
+        trace = scheduler.start_trace()
+        scheduler.stop_trace()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_until_idle()
+        assert trace == []
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1000,
                           allow_nan=False, allow_infinity=False),
                 min_size=1, max_size=50))
