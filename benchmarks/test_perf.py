@@ -2,6 +2,7 @@
 and the BENCH_perf.json trajectory machinery round-trips."""
 
 import json
+import os
 
 import pytest
 
@@ -10,11 +11,13 @@ from repro.bench.perf import (
     baseline_entry,
     check_regression,
     format_perf,
+    gate_reference,
     latest_entry,
     load_trajectory,
     run_closed_loop_scenario,
     run_fault_scenario,
     run_perf,
+    run_sweep_scenario,
     run_zk_queue_scenario,
     save_trajectory,
     scenario_names,
@@ -120,3 +123,128 @@ def test_check_regression_fails_on_event_count_drift():
     assert not check_regression({"s": {"wall_s": 0.5, "events": 11}},
                                 committed, echo=lines.append)
     assert any("event count" in line for line in lines)
+
+
+_SWEEP_TINY = dict(systems=("C1", "CC2"), workloads=("A",),
+                   thread_counts=(2,), duration_ms=2_500.0, warmup_ms=500.0,
+                   cooldown_ms=250.0, record_count=60)
+
+
+def _counts(stats):
+    return {key: stats[key] for key in ("events", "ops", "points")}
+
+
+def test_sweep_scenario_parallel_matches_serial_counts():
+    serial = run_sweep_scenario(jobs=1, **_SWEEP_TINY)
+    parallel = run_sweep_scenario(jobs=2, **_SWEEP_TINY)
+    assert _counts(serial) == _counts(parallel)
+    assert serial["points"] == 2
+    assert len(parallel["point_walls_s"]) == 2
+
+
+def test_run_perf_parallel_scenarios_match_serial():
+    names = ["fig09-zk-queue", "fig06-sweep-serial"]
+    serial = run_perf(scenarios=names, quick=True, repeats=1)
+    parallel = run_perf(scenarios=names, quick=True, repeats=1, jobs=2)
+    assert list(parallel) == names
+    for name in names:
+        assert parallel[name]["events"] == serial[name]["events"]
+        assert parallel[name]["ops"] == serial[name]["ops"]
+
+
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(_available_cores() < 2,
+                    reason="multi-core speedup needs >= 2 available cores")
+def test_multicore_sweep_speedup():
+    """On a multi-core host --jobs 2 must actually overlap point execution.
+
+    Asserts the achieved concurrency (summed per-point wall over elapsed
+    sweep wall) rather than the ratio of two separate end-to-end runs: a
+    noisy neighbor slows the points and the sweep proportionally, so this
+    ratio stays stable where a serial-vs-parallel comparison would flake.
+    """
+    parallel = run_sweep_scenario(
+        jobs=2, systems=("C1", "C2", "CC2"), workloads=("A", "B"),
+        thread_counts=(4,), duration_ms=6_000.0, warmup_ms=1_000.0,
+        cooldown_ms=500.0, record_count=300)
+    concurrency = sum(parallel["point_walls_s"]) / parallel["sweep_wall_s"]
+    # 1.3 is deliberately below the ~1.7-2x expected on idle 2-core
+    # hardware so CI runner contention does not flake the suite.
+    assert concurrency > 1.3
+
+
+def test_gate_reference_picks_best_entry_per_scenario():
+    trajectory = {"entries": []}
+    append_entry(trajectory, "fast", quick=True,
+                 measured={"s": {"wall_s": 1.0, "events": 10}})
+    append_entry(trajectory, "slow ci host", quick=True,
+                 measured={"s": {"wall_s": 3.0, "events": 10}})
+    ref = gate_reference(trajectory, quick=True,
+                         measured={"s": {"wall_s": 0.9, "events": 10}})
+    # A slow later entry must not loosen the gate: the best wall wins.
+    assert ref["scenarios"]["s"]["wall_s"] == 1.0
+
+
+def test_gate_reference_skips_stale_scales_and_other_jobs():
+    trajectory = {"entries": []}
+    append_entry(trajectory, "old scale", quick=True,
+                 measured={"s": {"wall_s": 0.1, "events": 99}})
+    append_entry(trajectory, "parallel run", quick=True,
+                 measured={"s": {"wall_s": 0.2, "events": 10}}, jobs=2)
+    append_entry(trajectory, "current", quick=True,
+                 measured={"s": {"wall_s": 1.0, "events": 10}})
+    ref = gate_reference(trajectory, quick=True,
+                         measured={"s": {"wall_s": 0.9, "events": 10}})
+    # The 0.1s entry counted 99 events (a different scenario scale) and the
+    # 0.2s entry was measured with cross-scenario parallelism: neither is
+    # comparable, so the gate reference stays at 1.0s.
+    assert ref["scenarios"]["s"]["wall_s"] == 1.0
+    assert gate_reference(trajectory, quick=False) is None
+
+
+def test_gate_reference_survives_subset_and_seed_entries():
+    trajectory = {"entries": []}
+    append_entry(trajectory, "baseline", quick=True,
+                 measured={"a": {"wall_s": 1.0, "events": 10},
+                           "b": {"wall_s": 2.0, "events": 20}})
+    # A later single-scenario save and a seed-overridden save (different
+    # event count) must not poison the gate for the other scenarios.
+    append_entry(trajectory, "subset", quick=True,
+                 measured={"a": {"wall_s": 1.1, "events": 10}})
+    append_entry(trajectory, "seeded", quick=True,
+                 measured={"b": {"wall_s": 0.1, "events": 77}})
+    measured = {"a": {"wall_s": 1.0, "events": 10},
+                "b": {"wall_s": 2.0, "events": 20}}
+    ref = gate_reference(trajectory, quick=True, measured=measured)
+    assert ref["scenarios"]["a"]["wall_s"] == 1.0
+    assert ref["scenarios"]["b"]["wall_s"] == 2.0
+    lines = []
+    assert check_regression(measured, ref, echo=lines.append)
+
+
+def test_gate_reference_falls_back_to_newest_on_event_drift():
+    trajectory = {"entries": []}
+    append_entry(trajectory, "baseline", quick=True,
+                 measured={"s": {"wall_s": 1.0, "events": 10}})
+    measured = {"s": {"wall_s": 0.5, "events": 11}}
+    ref = gate_reference(trajectory, quick=True, measured=measured)
+    # No committed entry matches the measured event count: the newest stats
+    # stand in so check_regression fails loudly on the drift rather than
+    # reporting a missing reference.
+    assert ref["scenarios"]["s"]["events"] == 10
+    lines = []
+    assert not check_regression(measured, ref, echo=lines.append)
+    assert any("event count" in line for line in lines)
+
+
+def test_append_entry_records_jobs():
+    trajectory = {"entries": []}
+    entry = append_entry(trajectory, "x", quick=True, measured={}, jobs=2)
+    assert entry["jobs"] == 2
+    assert append_entry(trajectory, "y", quick=True, measured={})["jobs"] == 1

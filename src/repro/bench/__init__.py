@@ -7,7 +7,7 @@ call these with scaled-down defaults; pass larger parameters for
 paper-scale runs.
 """
 
-from repro.bench import ablations, common, perf
+from repro.bench import ablations, common, perf, sweep
 from repro.bench.fig05_single_latency import run_fig05, format_fig05
 from repro.bench.fig06_load import run_fig06, format_fig06
 from repro.bench.fig07_divergence import run_fig07, format_fig07
@@ -27,6 +27,7 @@ __all__ = [
     "ablations",
     "common",
     "perf",
+    "sweep",
     "run_fig05", "format_fig05",
     "run_fig06", "format_fig06",
     "run_fig07", "format_fig07",

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Sequence
 
 from repro.bench.fig08_bandwidth import _measure_bandwidth
 from repro.bench.fig12_tickets import _sell_out
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.bindings.cached_store import CachedStoreBinding
 from repro.bindings.primary_backup import PrimaryBackupBinding, PrimaryBackupStore
 from repro.apps.news import NewsReader
@@ -25,23 +26,30 @@ from repro.metrics.summary import format_table
 from repro.sim.scheduler import Scheduler
 
 
+def _ticket_threshold_point(point: SweepPoint) -> Dict:
+    outcome = _sell_out("CZK", **point.kwargs)
+    return {
+        "threshold": point.kwargs["threshold"],
+        "mean_latency_ms": (
+            sum(e["latency_ms"] for e in outcome["series"])
+            / max(1, len(outcome["series"]))),
+        "preliminary_purchases": outcome["preliminary_purchases"],
+        "tickets_sold": outcome["tickets_sold"],
+        "oversold": outcome["oversold"],
+    }
+
+
 def run_ticket_threshold_ablation(thresholds: Sequence[int] = (0, 5, 20, 60),
                                   stock: int = 200, retailers: int = 4,
-                                  seed: int = 42) -> List[Dict]:
+                                  seed: int = 42,
+                                  jobs: JobsSpec = 1) -> List[Dict]:
     """Sweep the stock threshold below which retailers wait for the final view."""
-    records: List[Dict] = []
-    for threshold in thresholds:
-        outcome = _sell_out("CZK", stock, retailers, threshold, seed)
-        records.append({
-            "threshold": threshold,
-            "mean_latency_ms": (
-                sum(e["latency_ms"] for e in outcome["series"])
-                / max(1, len(outcome["series"]))),
-            "preliminary_purchases": outcome["preliminary_purchases"],
-            "tickets_sold": outcome["tickets_sold"],
-            "oversold": outcome["oversold"],
-        })
-    return records
+    points = make_points("ablation-ticket-threshold", (
+        ({"threshold": threshold},
+         dict(stock=stock, retailers=retailers, threshold=threshold,
+              seed=seed))
+        for threshold in thresholds))
+    return run_sweep(points, _ticket_threshold_point, jobs=jobs).records()
 
 
 def format_ticket_threshold_ablation(records: List[Dict]) -> str:
@@ -53,40 +61,55 @@ def format_ticket_threshold_ablation(records: List[Dict]) -> str:
         rows, title="Ablation — ticket-shop final-view threshold")
 
 
-def run_view_count_ablation(news_items: int = 10,
-                            reads: int = 50) -> List[Dict]:
-    """Compare two-view and three-view (cache-fronted) news reading."""
-    records: List[Dict] = []
-    for label, use_cache in (("2 views (backup+primary)", False),
-                             ("3 views (cache+backup+primary)", True)):
-        scheduler = Scheduler()
-        store = PrimaryBackupStore(scheduler=scheduler, replication_lag_ms=30.0)
-        binding = PrimaryBackupBinding(store, scheduler=scheduler,
-                                       backup_rtt_ms=20.0, primary_rtt_ms=90.0)
-        if use_cache:
-            binding = CachedStoreBinding(binding, scheduler=scheduler,
-                                         cache_latency_ms=0.5)
-        reader = NewsReader(CorrectableClient(binding))
-        reader.publish([f"story-{i}" for i in range(news_items)])
-        scheduler.run_until_idle()
+def _view_count_point(point: SweepPoint) -> Dict:
+    return _measure_view_count(label=point.kwargs["label"],
+                               use_cache=point.kwargs["use_cache"],
+                               news_items=point.kwargs["news_items"],
+                               reads=point.kwargs["reads"])
 
-        first_view_latencies: List[float] = []
-        for _ in range(reads):
-            start = scheduler.now()
-            seen: List[float] = []
-            reader.get_latest_news(
-                refresh=lambda items, level, s=start, seen=seen:
-                seen.append(scheduler.now() - s))
-            scheduler.run_until_idle()
-            if seen:
-                first_view_latencies.append(seen[0])
-        records.append({
-            "configuration": label,
-            "mean_first_view_ms": (sum(first_view_latencies)
-                                   / max(1, len(first_view_latencies))),
-            "refreshes_per_read": reader.refreshes / reads,
-        })
-    return records
+
+def run_view_count_ablation(news_items: int = 10, reads: int = 50,
+                            jobs: JobsSpec = 1) -> List[Dict]:
+    """Compare two-view and three-view (cache-fronted) news reading."""
+    points = make_points("ablation-view-count", (
+        ({"configuration": label},
+         dict(label=label, use_cache=use_cache, news_items=news_items,
+              reads=reads))
+        for label, use_cache in (("2 views (backup+primary)", False),
+                                 ("3 views (cache+backup+primary)", True))))
+    return run_sweep(points, _view_count_point, jobs=jobs).records()
+
+
+def _measure_view_count(label: str, use_cache: bool, news_items: int,
+                        reads: int) -> Dict:
+    """Measure one news-reader configuration (2 or 3 incremental views)."""
+    scheduler = Scheduler()
+    store = PrimaryBackupStore(scheduler=scheduler, replication_lag_ms=30.0)
+    binding = PrimaryBackupBinding(store, scheduler=scheduler,
+                                   backup_rtt_ms=20.0, primary_rtt_ms=90.0)
+    if use_cache:
+        binding = CachedStoreBinding(binding, scheduler=scheduler,
+                                     cache_latency_ms=0.5)
+    reader = NewsReader(CorrectableClient(binding))
+    reader.publish([f"story-{i}" for i in range(news_items)])
+    scheduler.run_until_idle()
+
+    first_view_latencies: List[float] = []
+    for _ in range(reads):
+        start = scheduler.now()
+        seen: List[float] = []
+        reader.get_latest_news(
+            refresh=lambda items, level, s=start, seen=seen:
+            seen.append(scheduler.now() - s))
+        scheduler.run_until_idle()
+        if seen:
+            first_view_latencies.append(seen[0])
+    return {
+        "configuration": label,
+        "mean_first_view_ms": (sum(first_view_latencies)
+                               / max(1, len(first_view_latencies))),
+        "refreshes_per_read": reader.refreshes / reads,
+    }
 
 
 def format_view_count_ablation(records: List[Dict]) -> str:
@@ -97,17 +120,22 @@ def format_view_count_ablation(records: List[Dict]) -> str:
         rows, title="Ablation — number of incremental views (news reader)")
 
 
+def _confirmation_point(point: SweepPoint) -> Dict:
+    return _measure_bandwidth(**point.kwargs)
+
+
 def run_confirmation_optimization_ablation(
         threads: int = 10, duration_ms: float = 6_000.0,
-        seed: int = 42) -> List[Dict]:
+        seed: int = 42, jobs: JobsSpec = 1) -> List[Dict]:
     """CC2 vs *CC2 bytes/op under the high-divergence A-Latest workload."""
-    records: List[Dict] = []
-    for system in ("CC2", "*CC2"):
-        record = _measure_bandwidth(system, "A", "latest", threads,
-                                    duration_ms, duration_ms * 0.25,
-                                    duration_ms * 0.125, 1_000, seed)
-        records.append(record)
-    return records
+    points = make_points("ablation-confirmation", (
+        ({"system": system},
+         dict(system=system, workload_name="A", distribution="latest",
+              threads=threads, duration_ms=duration_ms,
+              warmup_ms=duration_ms * 0.25, cooldown_ms=duration_ms * 0.125,
+              record_count=1_000, seed=seed))
+        for system in ("CC2", "*CC2")))
+    return run_sweep(points, _confirmation_point, jobs=jobs).records()
 
 
 def format_confirmation_optimization_ablation(records: List[Dict]) -> str:

@@ -9,6 +9,13 @@ scale::
     python -m repro.bench fig12 --seed 7
     python -m repro.bench all --quick
 
+Every figure family regenerates its grid through the sweep engine
+(:mod:`repro.bench.sweep`), so regeneration parallelizes across processes
+with byte-identical output::
+
+    python -m repro.bench fig06 --jobs 4
+    python -m repro.bench all --jobs auto
+
 It also hosts the wall-clock performance harness (see :mod:`repro.bench.perf`)::
 
     python -m repro.bench perf
@@ -19,7 +26,11 @@ It also hosts the wall-clock performance harness (see :mod:`repro.bench.perf`)::
 from __future__ import annotations
 
 import argparse
+import inspect
+import sys
 from typing import Callable, Dict, Optional, Sequence
+
+from repro.bench.sweep import JobsSpec, resolve_jobs
 
 from repro.bench import (
     format_fig05, format_fig06, format_fig07, format_fig08, format_fig09,
@@ -75,15 +86,37 @@ def figure_names() -> Sequence[str]:
     return tuple(_FIGURES)
 
 
-def run_figure(name: str, quick: bool = False,
-               seed: Optional[int] = None) -> str:
-    """Run one figure's harness and return its rendered report."""
+def figure_supports_histograms(name: str) -> bool:
+    """Whether a figure's runner accepts ``use_histograms``."""
     if name not in _FIGURES:
         raise KeyError(f"unknown figure {name!r}; choose from {list(_FIGURES)}")
+    runner = _FIGURES[name][0]
+    return "use_histograms" in inspect.signature(runner).parameters
+
+
+def run_figure(name: str, quick: bool = False,
+               seed: Optional[int] = None, jobs: JobsSpec = 1,
+               use_histograms: bool = False) -> str:
+    """Run one figure's harness and return its rendered report.
+
+    ``jobs`` fans the figure's sweep across processes (``"auto"`` = one per
+    core); the records are merged in grid order, so the report is identical
+    at any job count.  ``use_histograms`` swaps the exact latency recorders
+    for O(1) histograms on the figures that support it (currently fig06).
+    """
+    if name not in _FIGURES:
+        raise KeyError(f"unknown figure {name!r}; choose from {list(_FIGURES)}")
+    if use_histograms and not figure_supports_histograms(name):
+        raise ValueError(
+            f"{name} does not support --histograms (only the "
+            f"closed-loop load figures do)")
     runner, formatter, full_kwargs, quick_kwargs = _FIGURES[name]
     kwargs = dict(quick_kwargs if quick else full_kwargs)
     if seed is not None:
         kwargs["seed"] = seed
+    kwargs["jobs"] = resolve_jobs(jobs)
+    if use_histograms:
+        kwargs["use_histograms"] = True
     return formatter(runner(**kwargs))
 
 
@@ -98,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run a scaled-down configuration")
     parser.add_argument("--seed", type=int, default=None,
                         help="experiment seed (default: each harness's own)")
+    parser.add_argument("--jobs", default="1", metavar="N",
+                        help="run the figure's sweep points across N worker "
+                             "processes ('auto' = one per core); results are "
+                             "byte-identical to --jobs 1 (default: 1)")
+    parser.add_argument("--histograms", action="store_true",
+                        help="use O(1) histogram latency recorders instead "
+                             "of exact per-sample recorders (high-thread "
+                             "fig06 sweeps; quantiles become ~0.1%% approx)")
     perf = parser.add_argument_group("perf harness (only with 'perf')")
     perf.add_argument("--profile", type=int, default=0, metavar="N",
                       help="print the cProfile top-N per scenario")
@@ -114,13 +155,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="measure and print without recording an entry")
     perf.add_argument("--check-regression", action="store_true",
                       help="exit non-zero when any scenario is more than 2x "
-                           "slower than the last committed entry (composes "
-                           "with recording; add --no-save to only gate)")
+                           "slower than the best committed entry per "
+                           "scenario (composes with recording; add "
+                           "--no-save to only gate)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.figure == "perf":
         from repro.bench.perf import main_perf
         return main_perf(quick=args.quick, repeats=args.repeats,
@@ -128,10 +175,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          scenarios=args.perf_scenarios, output=args.output,
                          save=not args.no_save,
                          regression_gate=args.check_regression,
-                         seed=args.seed)
+                         seed=args.seed, jobs=jobs)
     names = list(_FIGURES) if args.figure == "all" else [args.figure]
+    # With an explicit figure, --histograms on an unsupported harness is a
+    # usage error; with 'all' the flag simply applies where supported.
+    if args.histograms and args.figure != "all" \
+            and not figure_supports_histograms(args.figure):
+        print(f"error: {args.figure} does not support --histograms (only "
+              f"the closed-loop load figures do)", file=sys.stderr)
+        return 2
     for name in names:
-        print(run_figure(name, quick=args.quick, seed=args.seed))
+        print(run_figure(name, quick=args.quick, seed=args.seed, jobs=jobs,
+                         use_histograms=args.histograms
+                         and figure_supports_histograms(name)))
         print()
     return 0
 

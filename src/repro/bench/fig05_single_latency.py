@@ -20,6 +20,7 @@ from repro.bench.common import (
     cassandra_config_for,
     make_kv_issue,
 )
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.summary import format_table
 from repro.sim.rand import derive_rng
@@ -64,17 +65,33 @@ def _measure_single_requests(system: str, samples: int, seed: int,
     }
 
 
+def build_fig05_points(systems: Iterable[str] = DEFAULT_SYSTEMS,
+                       samples: int = 200, record_count: int = 200,
+                       seed: int = 42) -> List[SweepPoint]:
+    """One sweep point per system label."""
+    return make_points("fig05", (
+        ({"system": system},
+         dict(system=system, samples=samples, seed=seed,
+              record_count=record_count))
+        for system in systems))
+
+
+def run_fig05_point(point: SweepPoint) -> Dict:
+    return _measure_single_requests(**point.kwargs)
+
+
 def run_fig05(systems: Iterable[str] = DEFAULT_SYSTEMS, samples: int = 200,
-              record_count: int = 200, seed: int = 42) -> Dict[str, Dict]:
+              record_count: int = 200, seed: int = 42,
+              jobs: JobsSpec = 1) -> Dict[str, Dict]:
     """Regenerate the Figure 5 data series.
 
     Returns a mapping ``system -> {"preliminary": summary|None, "final": summary}``.
     """
-    results: Dict[str, Dict] = {}
-    for system in systems:
-        results[system] = _measure_single_requests(system, samples, seed,
-                                                   record_count)
-    return results
+    points = build_fig05_points(systems=systems, samples=samples,
+                                record_count=record_count, seed=seed)
+    sweep = run_sweep(points, run_fig05_point, jobs=jobs)
+    return {point.label("system"): record
+            for point, record in zip(points, sweep.records())}
 
 
 def latency_gap_ms(results: Dict[str, Dict], system: str) -> float:

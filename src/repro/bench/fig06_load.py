@@ -20,6 +20,7 @@ from repro.bench.common import (
     cassandra_config_for,
     run_multi_region_load,
 )
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.metrics.summary import format_table
 from repro.sim.topology import Region
 from repro.workloads.ycsb import workload_by_name
@@ -29,43 +30,72 @@ DEFAULT_WORKLOADS = ("A", "B", "C")
 DEFAULT_THREADS = (2, 6, 12)
 
 
+def build_fig06_points(systems: Iterable[str] = DEFAULT_SYSTEMS,
+                       workloads: Iterable[str] = DEFAULT_WORKLOADS,
+                       thread_counts: Sequence[int] = DEFAULT_THREADS,
+                       duration_ms: float = 8_000.0,
+                       warmup_ms: float = 2_000.0,
+                       cooldown_ms: float = 1_000.0,
+                       record_count: int = 1_000, seed: int = 42,
+                       use_histograms: bool = False) -> List[SweepPoint]:
+    """One sweep point per (workload, system, thread count) cell."""
+    return make_points("fig06", (
+        ({"workload": workload_name, "system": system, "threads": threads},
+         dict(workload=workload_name, system=system, threads=threads,
+              duration_ms=duration_ms, warmup_ms=warmup_ms,
+              cooldown_ms=cooldown_ms, record_count=record_count, seed=seed,
+              use_histograms=use_histograms))
+        for workload_name in workloads
+        for system in systems
+        for threads in thread_counts))
+
+
+def run_fig06_point(point: SweepPoint) -> Dict:
+    """Run one (workload, system, thread count) cell of the Figure 6 grid."""
+    kwargs = point.kwargs
+    workload_name, system = kwargs["workload"], kwargs["system"]
+    seed = kwargs["seed"]
+    spec = workload_by_name(workload_name)
+    scenario = build_cassandra_scenario(
+        seed=seed, record_count=kwargs["record_count"],
+        client_regions=(Region.IRL, Region.FRK, Region.VRG),
+        config=cassandra_config_for(system))
+    results = run_multi_region_load(
+        scenario, system, spec, threads_per_client=kwargs["threads"],
+        duration_ms=kwargs["duration_ms"], warmup_ms=kwargs["warmup_ms"],
+        cooldown_ms=kwargs["cooldown_ms"], seed=seed,
+        use_histograms=kwargs.get("use_histograms", False))
+    measured = results[Region.IRL]
+    return {
+        "workload": workload_name,
+        "system": system,
+        "threads_per_client": kwargs["threads"],
+        "throughput_ops_s": measured.throughput_ops_per_sec(),
+        "final_mean_ms": measured.final_latency.mean(),
+        "final_p99_ms": measured.final_latency.p99(),
+        "preliminary_mean_ms": measured.preliminary_latency.mean()
+        if measured.preliminary_latency.count else None,
+        "measured_ops": measured.measured_ops,
+    }
+
+
 def run_fig06(systems: Iterable[str] = DEFAULT_SYSTEMS,
               workloads: Iterable[str] = DEFAULT_WORKLOADS,
               thread_counts: Sequence[int] = DEFAULT_THREADS,
               duration_ms: float = 8_000.0, warmup_ms: float = 2_000.0,
               cooldown_ms: float = 1_000.0, record_count: int = 1_000,
-              seed: int = 42) -> List[Dict]:
+              seed: int = 42, use_histograms: bool = False,
+              jobs: JobsSpec = 1) -> List[Dict]:
     """Regenerate the Figure 6 latency-vs-throughput series.
 
     Returns one record per (workload, system, thread count) with the measured
     client's throughput and preliminary/final latencies.
     """
-    records: List[Dict] = []
-    for workload_name in workloads:
-        spec = workload_by_name(workload_name)
-        for system in systems:
-            for threads in thread_counts:
-                scenario = build_cassandra_scenario(
-                    seed=seed, record_count=record_count,
-                    client_regions=(Region.IRL, Region.FRK, Region.VRG),
-                    config=cassandra_config_for(system))
-                results = run_multi_region_load(
-                    scenario, system, spec, threads_per_client=threads,
-                    duration_ms=duration_ms, warmup_ms=warmup_ms,
-                    cooldown_ms=cooldown_ms, seed=seed)
-                measured = results[Region.IRL]
-                records.append({
-                    "workload": workload_name,
-                    "system": system,
-                    "threads_per_client": threads,
-                    "throughput_ops_s": measured.throughput_ops_per_sec(),
-                    "final_mean_ms": measured.final_latency.mean(),
-                    "final_p99_ms": measured.final_latency.p99(),
-                    "preliminary_mean_ms": measured.preliminary_latency.mean()
-                    if measured.preliminary_latency.count else None,
-                    "measured_ops": measured.measured_ops,
-                })
-    return records
+    points = build_fig06_points(
+        systems=systems, workloads=workloads, thread_counts=thread_counts,
+        duration_ms=duration_ms, warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        record_count=record_count, seed=seed, use_histograms=use_histograms)
+    return run_sweep(points, run_fig06_point, jobs=jobs).records()
 
 
 def format_fig06(records: List[Dict]) -> str:

@@ -24,6 +24,7 @@ from repro.bench.common import (
     make_generator_factory,
     make_kv_issue,
 )
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.metrics.bandwidth import BandwidthProbe
 from repro.metrics.summary import format_table
 from repro.sim.topology import Region
@@ -79,33 +80,68 @@ def _measure_bandwidth(system: str, workload_name: str, distribution: str,
     }
 
 
+def build_fig08_points(systems: Iterable[str] = DEFAULT_SYSTEMS,
+                       configs: Iterable = DEFAULT_CONFIGS, threads: int = 10,
+                       duration_ms: float = 8_000.0,
+                       warmup_ms: float = 2_000.0,
+                       cooldown_ms: float = 1_000.0,
+                       record_count: int = 1_000,
+                       seed: int = 42) -> List[SweepPoint]:
+    """One sweep point per ((workload, distribution), system) cell."""
+    return make_points("fig08", (
+        ({"workload": workload_name, "distribution": distribution,
+          "system": system},
+         dict(system=system, workload_name=workload_name,
+              distribution=distribution, threads=threads,
+              duration_ms=duration_ms, warmup_ms=warmup_ms,
+              cooldown_ms=cooldown_ms, record_count=record_count, seed=seed))
+        for workload_name, distribution in configs
+        for system in systems))
+
+
+def run_fig08_point(point: SweepPoint) -> Dict:
+    return _measure_bandwidth(**point.kwargs)
+
+
+def _merge_overheads(records: List[Dict]) -> List[Dict]:
+    """Fill ``overhead_vs_c1_pct`` from each configuration's C1 baseline.
+
+    Replicates the serial loop exactly: the baseline resets per (workload,
+    distribution) group and systems measured before C1 report 0.0.
+    """
+    baseline_kb = None
+    group = None
+    for record in records:
+        if (record["workload"], record["distribution"]) != group:
+            group = (record["workload"], record["distribution"])
+            baseline_kb = None
+        if record["system"] == "C1":
+            baseline_kb = record["kb_per_op"]
+        if baseline_kb:
+            record["overhead_vs_c1_pct"] = \
+                100.0 * (record["kb_per_op"] / baseline_kb - 1.0)
+        else:
+            record["overhead_vs_c1_pct"] = 0.0
+    return records
+
+
 def run_fig08(systems: Iterable[str] = DEFAULT_SYSTEMS,
               configs: Iterable = DEFAULT_CONFIGS, threads: int = 10,
               duration_ms: float = 8_000.0, warmup_ms: float = 2_000.0,
               cooldown_ms: float = 1_000.0, record_count: int = 1_000,
-              seed: int = 42) -> List[Dict]:
+              seed: int = 42, jobs: JobsSpec = 1) -> List[Dict]:
     """Regenerate the Figure 8 bandwidth comparison.
 
     Returns one record per (workload, distribution, system) with the average
     kB per operation on the measured client's links and, for convenience, the
     relative overhead versus the C1 baseline of the same configuration.
     """
-    records: List[Dict] = []
-    for workload_name, distribution in configs:
-        baseline_kb = None
-        for system in systems:
-            record = _measure_bandwidth(system, workload_name, distribution,
-                                        threads, duration_ms, warmup_ms,
-                                        cooldown_ms, record_count, seed)
-            if system == "C1":
-                baseline_kb = record["kb_per_op"]
-            if baseline_kb:
-                record["overhead_vs_c1_pct"] = \
-                    100.0 * (record["kb_per_op"] / baseline_kb - 1.0)
-            else:
-                record["overhead_vs_c1_pct"] = 0.0
-            records.append(record)
-    return records
+    points = build_fig08_points(
+        systems=systems, configs=configs, threads=threads,
+        duration_ms=duration_ms, warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        record_count=record_count, seed=seed)
+    return _merge_overheads(run_sweep(points, run_fig08_point, jobs=jobs)
+                            .records())
 
 
 def format_fig08(records: List[Dict]) -> str:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.metrics.bandwidth import BandwidthProbe
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.summary import format_table
@@ -78,33 +79,51 @@ def _measure_enqueues(leader_region: str, connect_region: str, icg: bool,
     }
 
 
+def build_fig09_points(configurations: Iterable = DEFAULT_CONFIGURATIONS,
+                       samples: int = 100, seed: int = 42) -> List[SweepPoint]:
+    """One sweep point per ensemble configuration (CZK + ZK runs inside)."""
+    return make_points("fig09", (
+        ({"configuration": label},
+         dict(label=label, leader_region=leader_region,
+              connect_region=connect_region, samples=samples, seed=seed))
+        for label, leader_region, connect_region in configurations))
+
+
+def run_fig09_point(point: SweepPoint) -> Dict:
+    """Measure one configuration: CZK (ICG) and vanilla ZK back to back."""
+    kwargs = point.kwargs
+    leader_region = kwargs["leader_region"]
+    connect_region = kwargs["connect_region"]
+    czk = _measure_enqueues(leader_region, connect_region, icg=True,
+                            samples=kwargs["samples"], seed=kwargs["seed"])
+    zk = _measure_enqueues(leader_region, connect_region, icg=False,
+                           samples=kwargs["samples"], seed=kwargs["seed"])
+    return {
+        "configuration": kwargs["label"],
+        "leader_region": leader_region,
+        "connect_region": connect_region,
+        "czk_preliminary_ms": czk["preliminary"]["mean_ms"],
+        "czk_final_ms": czk["final"]["mean_ms"],
+        "czk_final_p99_ms": czk["final"]["p99_ms"],
+        "zk_final_ms": zk["final"]["mean_ms"],
+        "czk_bytes_per_op": czk["bytes_per_op"],
+        "zk_bytes_per_op": zk["bytes_per_op"],
+        "latency_gap_ms": czk["final"]["mean_ms"] - czk["preliminary"]["mean_ms"],
+    }
+
+
 def run_fig09(configurations: Iterable = DEFAULT_CONFIGURATIONS,
-              samples: int = 100, seed: int = 42) -> List[Dict]:
+              samples: int = 100, seed: int = 42,
+              jobs: JobsSpec = 1) -> List[Dict]:
     """Regenerate the Figure 9 latency-gap comparison (CZK vs ZK).
 
     Returns one record per configuration, containing the Correctable
     ZooKeeper preliminary/final summaries, the vanilla ZooKeeper summary, and
     the enqueue bytes-per-operation of both systems.
     """
-    records: List[Dict] = []
-    for label, leader_region, connect_region in configurations:
-        czk = _measure_enqueues(leader_region, connect_region, icg=True,
+    points = build_fig09_points(configurations=configurations,
                                 samples=samples, seed=seed)
-        zk = _measure_enqueues(leader_region, connect_region, icg=False,
-                               samples=samples, seed=seed)
-        records.append({
-            "configuration": label,
-            "leader_region": leader_region,
-            "connect_region": connect_region,
-            "czk_preliminary_ms": czk["preliminary"]["mean_ms"],
-            "czk_final_ms": czk["final"]["mean_ms"],
-            "czk_final_p99_ms": czk["final"]["p99_ms"],
-            "zk_final_ms": zk["final"]["mean_ms"],
-            "czk_bytes_per_op": czk["bytes_per_op"],
-            "zk_bytes_per_op": zk["bytes_per_op"],
-            "latency_gap_ms": czk["final"]["mean_ms"] - czk["preliminary"]["mean_ms"],
-        })
-    return records
+    return run_sweep(points, run_fig09_point, jobs=jobs).records()
 
 
 def format_fig09(records: List[Dict]) -> str:

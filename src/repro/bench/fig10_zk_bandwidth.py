@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.metrics.bandwidth import BandwidthProbe
 from repro.metrics.summary import format_table
 from repro.sim.environment import SimEnvironment
@@ -75,22 +76,46 @@ def _drain_queue(system: str, stock: int, clients: int, seed: int) -> Dict:
     }
 
 
+def build_fig10_points(stocks: Iterable[int] = DEFAULT_STOCKS,
+                       client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+                       seed: int = 42) -> List[SweepPoint]:
+    """One sweep point per (stock, clients, system) drain."""
+    return make_points("fig10", (
+        ({"stock": stock, "clients": clients, "system": system},
+         dict(system=system, stock=stock, clients=clients, seed=seed))
+        for stock in stocks
+        for clients in client_counts
+        for system in ("ZK", "CZK")))
+
+
+def run_fig10_point(point: SweepPoint) -> Dict:
+    return _drain_queue(**point.kwargs)
+
+
+def _merge_savings(records: List[Dict]) -> List[Dict]:
+    """Fill ``saving_vs_zk_pct`` by pairing each CZK drain with its ZK twin."""
+    zk_kb: Dict = {}
+    for record in records:
+        key = (record["stock"], record["clients"])
+        if record["system"] == "ZK":
+            zk_kb[key] = record["kb_per_op"]
+            record["saving_vs_zk_pct"] = 0.0
+        else:
+            saving = 0.0
+            if zk_kb.get(key, 0.0) > 0:
+                saving = 100.0 * (1.0 - record["kb_per_op"] / zk_kb[key])
+            record["saving_vs_zk_pct"] = saving
+    return records
+
+
 def run_fig10(stocks: Iterable[int] = DEFAULT_STOCKS,
               client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
-              seed: int = 42) -> List[Dict]:
+              seed: int = 42, jobs: JobsSpec = 1) -> List[Dict]:
     """Regenerate the Figure 10 dequeue-bandwidth comparison."""
-    records: List[Dict] = []
-    for stock in stocks:
-        for clients in client_counts:
-            zk = _drain_queue("ZK", stock, clients, seed)
-            czk = _drain_queue("CZK", stock, clients, seed)
-            saving = 0.0
-            if zk["kb_per_op"] > 0:
-                saving = 100.0 * (1.0 - czk["kb_per_op"] / zk["kb_per_op"])
-            zk["saving_vs_zk_pct"] = 0.0
-            czk["saving_vs_zk_pct"] = saving
-            records.extend([zk, czk])
-    return records
+    points = build_fig10_points(stocks=stocks, client_counts=client_counts,
+                                seed=seed)
+    return _merge_savings(run_sweep(points, run_fig10_point, jobs=jobs)
+                          .records())
 
 
 def format_fig10(records: List[Dict]) -> str:

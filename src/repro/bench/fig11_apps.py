@@ -22,6 +22,7 @@ from repro.apps.ads import AdServingSystem
 from repro.apps.datasets import AdsDataset, TwissandraDataset
 from repro.apps.twissandra import Twissandra
 from repro.bench.common import cassandra_config_for, make_generator_factory
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.bindings.cassandra import CassandraBinding
 from repro.cassandra_sim.cluster import CassandraCluster
 from repro.core.client import CorrectableClient
@@ -118,61 +119,92 @@ class _AppDeployment:
         return _issue
 
 
+def build_fig11_points(apps: Iterable[str] = DEFAULT_APPS,
+                       systems: Iterable[str] = DEFAULT_SYSTEMS,
+                       workloads: Iterable[str] = DEFAULT_WORKLOADS,
+                       thread_counts: Sequence[int] = DEFAULT_THREADS,
+                       duration_ms: float = 6_000.0,
+                       warmup_ms: float = 1_500.0,
+                       cooldown_ms: float = 1_000.0, profile_count: int = 300,
+                       ref_count: int = 600,
+                       seed: int = 42) -> List[SweepPoint]:
+    """One sweep point per (app, workload, system, thread count) cell."""
+    return make_points("fig11", (
+        ({"app": app_name, "workload": workload_name, "system": system,
+          "threads": threads},
+         dict(app=app_name, workload=workload_name, system=system,
+              threads=threads, duration_ms=duration_ms, warmup_ms=warmup_ms,
+              cooldown_ms=cooldown_ms, profile_count=profile_count,
+              ref_count=ref_count, seed=seed))
+        for app_name in apps
+        for workload_name in workloads
+        for system in systems
+        for threads in thread_counts))
+
+
+def run_fig11_point(point: SweepPoint) -> Dict:
+    """Run one (app, workload, system, thread count) deployment."""
+    kwargs = point.kwargs
+    app_name, workload_name = kwargs["app"], kwargs["workload"]
+    system, threads, seed = kwargs["system"], kwargs["threads"], kwargs["seed"]
+    spec = workload_by_name(workload_name)
+    speculate = system.startswith("CC")
+    deployment = _AppDeployment(app_name, seed, kwargs["profile_count"],
+                                kwargs["ref_count"])
+    runners = {}
+    for region in deployment.apps:
+        runner = ClosedLoopRunner(
+            scheduler=deployment.env.scheduler,
+            issue=deployment.issue_function(region, speculate),
+            make_generator=make_generator_factory(
+                spec, deployment.key_dataset, seed,
+                f"{app_name}-{system}-{region}"),
+            threads=threads, duration_ms=kwargs["duration_ms"],
+            warmup_ms=kwargs["warmup_ms"], cooldown_ms=kwargs["cooldown_ms"],
+            label=f"{app_name}-{system}-{workload_name}-{region}")
+        runners[region] = runner
+    for runner in runners.values():
+        runner.start()
+    end = max(r.end_time for r in runners.values())
+    deployment.env.run(until=end + 120_000.0)
+    measured = runners[deployment.measured_region].result
+    measured_app = deployment.apps[deployment.measured_region]
+    stats = getattr(measured_app, "speculation_stats")
+    return {
+        "app": app_name,
+        "workload": workload_name,
+        "system": system,
+        "threads_per_client": threads,
+        "throughput_ops_s": measured.throughput_ops_per_sec(),
+        "latency_mean_ms": measured.final_latency.mean(),
+        "latency_p99_ms": measured.final_latency.p99(),
+        "read_latency_mean_ms": measured.read_latency.mean(),
+        "misspeculation_pct":
+            100.0 * (1.0 - stats.hit_rate())
+            if stats.total_closed else 0.0,
+        "measured_ops": measured.measured_ops,
+    }
+
+
 def run_fig11(apps: Iterable[str] = DEFAULT_APPS,
               systems: Iterable[str] = DEFAULT_SYSTEMS,
               workloads: Iterable[str] = DEFAULT_WORKLOADS,
               thread_counts: Sequence[int] = DEFAULT_THREADS,
               duration_ms: float = 6_000.0, warmup_ms: float = 1_500.0,
               cooldown_ms: float = 1_000.0, profile_count: int = 300,
-              ref_count: int = 600, seed: int = 42) -> List[Dict]:
+              ref_count: int = 600, seed: int = 42,
+              jobs: JobsSpec = 1) -> List[Dict]:
     """Regenerate the Figure 11 latency-vs-throughput series for both apps.
 
     ``C2`` denotes the no-speculation baseline (strong reads only), ``CC2``
     the ICG + speculation variant.  The measured client is in Ireland.
     """
-    records: List[Dict] = []
-    for app_name in apps:
-        for workload_name in workloads:
-            spec = workload_by_name(workload_name)
-            for system in systems:
-                speculate = system.startswith("CC")
-                for threads in thread_counts:
-                    deployment = _AppDeployment(app_name, seed,
-                                                profile_count, ref_count)
-                    runners = {}
-                    for region in deployment.apps:
-                        runner = ClosedLoopRunner(
-                            scheduler=deployment.env.scheduler,
-                            issue=deployment.issue_function(region, speculate),
-                            make_generator=make_generator_factory(
-                                spec, deployment.key_dataset, seed,
-                                f"{app_name}-{system}-{region}"),
-                            threads=threads, duration_ms=duration_ms,
-                            warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
-                            label=f"{app_name}-{system}-{workload_name}-{region}")
-                        runners[region] = runner
-                    for runner in runners.values():
-                        runner.start()
-                    end = max(r.end_time for r in runners.values())
-                    deployment.env.run(until=end + 120_000.0)
-                    measured = runners[deployment.measured_region].result
-                    measured_app = deployment.apps[deployment.measured_region]
-                    stats = getattr(measured_app, "speculation_stats")
-                    records.append({
-                        "app": app_name,
-                        "workload": workload_name,
-                        "system": system,
-                        "threads_per_client": threads,
-                        "throughput_ops_s": measured.throughput_ops_per_sec(),
-                        "latency_mean_ms": measured.final_latency.mean(),
-                        "latency_p99_ms": measured.final_latency.p99(),
-                        "read_latency_mean_ms": measured.read_latency.mean(),
-                        "misspeculation_pct":
-                            100.0 * (1.0 - stats.hit_rate())
-                            if stats.total_closed else 0.0,
-                        "measured_ops": measured.measured_ops,
-                    })
-    return records
+    points = build_fig11_points(
+        apps=apps, systems=systems, workloads=workloads,
+        thread_counts=thread_counts, duration_ms=duration_ms,
+        warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        profile_count=profile_count, ref_count=ref_count, seed=seed)
+    return run_sweep(points, run_fig11_point, jobs=jobs).records()
 
 
 def format_fig11(records: List[Dict]) -> str:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.apps.tickets import TicketSeller
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.bindings.zookeeper import ZooKeeperQueueBinding
 from repro.core.client import CorrectableClient
 from repro.metrics.latency import LatencyRecorder
@@ -90,12 +91,32 @@ def _sell_out(system: str, stock: int, retailers: int, threshold: int,
     }
 
 
+def build_fig12_points(stock: int = 500, retailers: int = 4,
+                       threshold: int = 20,
+                       systems: Iterable[str] = ("CZK", "ZK"),
+                       seed: int = 42) -> List[SweepPoint]:
+    """One sweep point per system's sell-out run."""
+    return make_points("fig12", (
+        ({"system": system},
+         dict(system=system, stock=stock, retailers=retailers,
+              threshold=threshold, seed=seed))
+        for system in systems))
+
+
+def run_fig12_point(point: SweepPoint) -> Dict:
+    return _sell_out(**point.kwargs)
+
+
 def run_fig12(stock: int = 500, retailers: int = 4, threshold: int = 20,
               systems: Iterable[str] = ("CZK", "ZK"),
-              seed: int = 42) -> Dict[str, Dict]:
+              seed: int = 42, jobs: JobsSpec = 1) -> Dict[str, Dict]:
     """Regenerate the Figure 12 per-ticket latency series for CZK and ZK."""
-    return {system: _sell_out(system, stock, retailers, threshold, seed)
-            for system in systems}
+    points = build_fig12_points(stock=stock, retailers=retailers,
+                                threshold=threshold, systems=systems,
+                                seed=seed)
+    sweep = run_sweep(points, run_fig12_point, jobs=jobs)
+    return {point.label("system"): record
+            for point, record in zip(points, sweep.records())}
 
 
 def format_fig12(results: Dict[str, Dict]) -> str:

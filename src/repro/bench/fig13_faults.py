@@ -35,6 +35,7 @@ from repro.bench.common import (
     make_generator_factory,
     make_kv_issue,
 )
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.cassandra_sim.config import CassandraConfig
 from repro.faults import (
     FaultInjector,
@@ -58,87 +59,129 @@ DEFAULT_SCENARIOS = ("baseline", "replica-crash", "wan-partition",
                      "flapping-link", "slow-follower")
 
 
+def run_fig13_scenario(scenario_name: str, workload: str = "B",
+                       threads_per_client: int = 4,
+                       duration_ms: float = 12_000.0,
+                       warmup_ms: float = 3_000.0,
+                       cooldown_ms: float = 1_000.0, record_count: int = 300,
+                       seed: int = 42) -> Dict:
+    """Run one Cassandra fault scenario; returns its figure record."""
+    spec = workload_by_name(workload).with_distribution("zipfian")
+    built = build_cassandra_scenario(
+        seed=seed, record_count=record_count,
+        client_regions=(Region.IRL, Region.FRK, Region.VRG),
+        config=CassandraConfig.fault_tolerant(),
+        client_fallbacks=True)
+    injector = None
+    description = "no faults (reference)"
+    if scenario_name != "baseline":
+        scenario = get_scenario(scenario_name)
+        description = scenario.description
+        injector = FaultInjector(built.env, schedule=scenario,
+                                 aliases=cassandra_aliases(built.cluster))
+    runners: Dict[str, ClosedLoopRunner] = {}
+    for index, (region, client) in enumerate(built.clients.items()):
+        runners[region] = ClosedLoopRunner(
+            scheduler=built.env.scheduler,
+            issue=make_kv_issue(client, "CC2"),
+            make_generator=make_generator_factory(
+                spec, built.dataset,
+                derive_seed(seed, f"fig13-{scenario_name}") % (2 ** 31),
+                f"fig13-{region}"),
+            threads=threads_per_client,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            cooldown_ms=cooldown_ms,
+            label=f"fig13-{scenario_name}-{region}",
+            # Arm the fault script once, alongside the first runner.
+            faults=injector if index == 0 else None,
+        )
+    for runner in runners.values():
+        runner.start()
+    end = max(runner.end_time for runner in runners.values())
+    built.env.run(until=end + 60_000.0)
+
+    divergence = DivergenceCounter()
+    final_latency = LatencyRecorder()
+    preliminary_latency = LatencyRecorder()
+    measured_ops = degraded = failed = 0
+    for result in (r.result for r in runners.values()):
+        divergence.merge(result.divergence)
+        final_latency.merge(result.final_latency)
+        preliminary_latency.merge(result.preliminary_latency)
+        measured_ops += result.measured_ops
+        degraded += result.degraded_ops
+        failed += result.failed_ops
+    measured_window_ms = duration_ms - warmup_ms - cooldown_ms
+    return {
+        "system": "CC2",
+        "scenario": scenario_name,
+        "description": description,
+        "measured_ops": measured_ops,
+        "throughput_ops_s": measured_ops / (measured_window_ms / 1000.0),
+        "preliminary_mean_ms": preliminary_latency.mean(),
+        "final_mean_ms": final_latency.mean(),
+        "final_p99_ms": final_latency.p99(),
+        "divergence_pct": divergence.divergence_percent(),
+        "prelim_accuracy_pct": 100.0 - divergence.divergence_percent(),
+        "degraded_ops": degraded,
+        "failed_ops": failed,
+        "coordinator_retries": sum(r.read_retries + r.write_retries
+                                   for r in built.cluster.replicas),
+        "client_retries": sum(c.retries for c in built.cluster.clients),
+        "discarded_updates": sum(c.late_preliminaries
+                                 for c in built.cluster.clients),
+        "messages_dropped": built.env.network.messages_dropped,
+        "faults_applied": len(injector.log) if injector else 0,
+    }
+
+
+def build_fig13_points(scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+                       workload: str = "B", threads_per_client: int = 4,
+                       duration_ms: float = 12_000.0,
+                       warmup_ms: float = 3_000.0,
+                       cooldown_ms: float = 1_000.0, record_count: int = 300,
+                       seed: int = 42, include_zookeeper: bool = False,
+                       zk: Optional[Dict] = None) -> List[SweepPoint]:
+    """Cassandra fault points, optionally plus the ZooKeeper leader-crash."""
+    cells: List = [
+        ({"system": "CC2", "scenario": scenario_name},
+         dict(scenario_name=scenario_name, workload=workload,
+              threads_per_client=threads_per_client, duration_ms=duration_ms,
+              warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+              record_count=record_count, seed=seed))
+        for scenario_name in scenarios]
+    if include_zookeeper:
+        zk_kwargs = dict(seed=seed)
+        zk_kwargs.update(zk or {})
+        cells.append(({"system": "CZK", "scenario": "leader-crash"},
+                      zk_kwargs))
+    return make_points("fig13", cells)
+
+
+def run_fig13_point(point: SweepPoint) -> Dict:
+    """Dispatch one fault point to the Cassandra or ZooKeeper harness."""
+    if point.label("system") == "CZK":
+        return run_fig13_zookeeper(**point.kwargs)
+    return run_fig13_scenario(**point.kwargs)
+
+
 def run_fig13(scenarios: Sequence[str] = DEFAULT_SCENARIOS,
               workload: str = "B", threads_per_client: int = 4,
               duration_ms: float = 12_000.0, warmup_ms: float = 3_000.0,
               cooldown_ms: float = 1_000.0, record_count: int = 300,
-              seed: int = 42) -> List[Dict]:
+              seed: int = 42, jobs: JobsSpec = 1) -> List[Dict]:
     """Run the Cassandra fault scenarios; returns one record per scenario.
 
     Every scenario uses the same seed, workload, and topology — only the
     fault script differs — so the rows are directly comparable.
     """
-    spec = workload_by_name(workload).with_distribution("zipfian")
-    records: List[Dict] = []
-    for scenario_name in scenarios:
-        built = build_cassandra_scenario(
-            seed=seed, record_count=record_count,
-            client_regions=(Region.IRL, Region.FRK, Region.VRG),
-            config=CassandraConfig.fault_tolerant(),
-            client_fallbacks=True)
-        injector = None
-        description = "no faults (reference)"
-        if scenario_name != "baseline":
-            scenario = get_scenario(scenario_name)
-            description = scenario.description
-            injector = FaultInjector(built.env, schedule=scenario,
-                                     aliases=cassandra_aliases(built.cluster))
-        runners: Dict[str, ClosedLoopRunner] = {}
-        for index, (region, client) in enumerate(built.clients.items()):
-            runners[region] = ClosedLoopRunner(
-                scheduler=built.env.scheduler,
-                issue=make_kv_issue(client, "CC2"),
-                make_generator=make_generator_factory(
-                    spec, built.dataset,
-                    derive_seed(seed, f"fig13-{scenario_name}") % (2 ** 31),
-                    f"fig13-{region}"),
-                threads=threads_per_client,
-                duration_ms=duration_ms,
-                warmup_ms=warmup_ms,
-                cooldown_ms=cooldown_ms,
-                label=f"fig13-{scenario_name}-{region}",
-                # Arm the fault script once, alongside the first runner.
-                faults=injector if index == 0 else None,
-            )
-        for runner in runners.values():
-            runner.start()
-        end = max(runner.end_time for runner in runners.values())
-        built.env.run(until=end + 60_000.0)
-
-        divergence = DivergenceCounter()
-        final_latency = LatencyRecorder()
-        preliminary_latency = LatencyRecorder()
-        measured_ops = degraded = failed = 0
-        for result in (r.result for r in runners.values()):
-            divergence.merge(result.divergence)
-            final_latency.merge(result.final_latency)
-            preliminary_latency.merge(result.preliminary_latency)
-            measured_ops += result.measured_ops
-            degraded += result.degraded_ops
-            failed += result.failed_ops
-        measured_window_ms = duration_ms - warmup_ms - cooldown_ms
-        records.append({
-            "system": "CC2",
-            "scenario": scenario_name,
-            "description": description,
-            "measured_ops": measured_ops,
-            "throughput_ops_s": measured_ops / (measured_window_ms / 1000.0),
-            "preliminary_mean_ms": preliminary_latency.mean(),
-            "final_mean_ms": final_latency.mean(),
-            "final_p99_ms": final_latency.p99(),
-            "divergence_pct": divergence.divergence_percent(),
-            "prelim_accuracy_pct": 100.0 - divergence.divergence_percent(),
-            "degraded_ops": degraded,
-            "failed_ops": failed,
-            "coordinator_retries": sum(r.read_retries + r.write_retries
-                                       for r in built.cluster.replicas),
-            "client_retries": sum(c.retries for c in built.cluster.clients),
-            "discarded_updates": sum(c.late_preliminaries
-                                     for c in built.cluster.clients),
-            "messages_dropped": built.env.network.messages_dropped,
-            "faults_applied": len(injector.log) if injector else 0,
-        })
-    return records
+    points = build_fig13_points(
+        scenarios=scenarios, workload=workload,
+        threads_per_client=threads_per_client, duration_ms=duration_ms,
+        warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        record_count=record_count, seed=seed)
+    return run_sweep(points, run_fig13_point, jobs=jobs).records()
 
 
 class _QueueOpGenerator:
@@ -290,18 +333,20 @@ def run_fig13_all(scenarios: Sequence[str] = DEFAULT_SCENARIOS,
                   duration_ms: float = 12_000.0, warmup_ms: float = 3_000.0,
                   cooldown_ms: float = 1_000.0, record_count: int = 300,
                   seed: int = 42, include_zookeeper: bool = True,
-                  zk: Optional[Dict] = None) -> List[Dict]:
-    """Cassandra scenarios plus the ZooKeeper leader-crash run, one table."""
-    records = run_fig13(scenarios=scenarios, workload=workload,
-                        threads_per_client=threads_per_client,
-                        duration_ms=duration_ms, warmup_ms=warmup_ms,
-                        cooldown_ms=cooldown_ms, record_count=record_count,
-                        seed=seed)
-    if include_zookeeper:
-        zk_kwargs = dict(seed=seed)
-        zk_kwargs.update(zk or {})
-        records.append(run_fig13_zookeeper(**zk_kwargs))
-    return records
+                  zk: Optional[Dict] = None,
+                  jobs: JobsSpec = 1) -> List[Dict]:
+    """Cassandra scenarios plus the ZooKeeper leader-crash run, one table.
+
+    A single sweep covers both systems, so the ZooKeeper run parallelizes
+    alongside the Cassandra scenarios instead of waiting for them.
+    """
+    points = build_fig13_points(
+        scenarios=scenarios, workload=workload,
+        threads_per_client=threads_per_client, duration_ms=duration_ms,
+        warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        record_count=record_count, seed=seed,
+        include_zookeeper=include_zookeeper, zk=zk)
+    return run_sweep(points, run_fig13_point, jobs=jobs).records()
 
 
 def format_fig13(records: List[Dict]) -> str:

@@ -14,11 +14,15 @@ project keeps a performance trajectory across PRs::
     python -m repro.bench perf --quick         # small scale (CI smoke)
     python -m repro.bench perf --profile 25    # cProfile top-25 per scenario
     python -m repro.bench perf --check-regression   # gate: fail on >2x slowdown
+    python -m repro.bench perf --jobs 4        # scenarios across 4 processes
 
 The scenarios are deterministic: for a given scale the event and operation
 counts never change, only the wall-clock time does.  Speedups are reported
 against the oldest recorded entry at the same scale (the pre-optimization
-baseline).
+baseline).  The ``fig06-sweep-serial``/``fig06-sweep-parallel`` pair runs
+the same multi-point grid through :mod:`repro.bench.sweep` at one and two
+worker processes; the ratio of their recorded wall times is the committed
+multiprocess speedup of figure regeneration.
 """
 
 from __future__ import annotations
@@ -38,6 +42,15 @@ from repro.bench.common import (
     make_generator_factory,
     make_kv_issue,
     run_multi_region_load,
+)
+from repro.bench.sweep import (
+    JobsSpec,
+    SweepPoint,
+    make_points,
+    point_seed,
+    pool_context,
+    resolve_jobs,
+    run_sweep,
 )
 from repro.cassandra_sim.config import CassandraConfig
 from repro.faults import FaultInjector, cassandra_aliases, get_scenario
@@ -149,6 +162,70 @@ def run_fault_scenario(threads_per_client: int = 4,
     }
 
 
+def _sweep_point(point: SweepPoint) -> Dict[str, int]:
+    """One fig06-style grid cell: a full closed-loop sim, counted."""
+    return run_closed_loop_scenario(**point.kwargs)
+
+
+def build_sweep_scenario_points(systems: Sequence[str] = ("C1", "C2", "CC2"),
+                                workloads: Sequence[str] = ("A", "B"),
+                                thread_counts: Sequence[int] = (4,),
+                                duration_ms: float = 8_000.0,
+                                warmup_ms: float = 1_500.0,
+                                cooldown_ms: float = 500.0,
+                                record_count: int = 500,
+                                seed: int = 42) -> List[SweepPoint]:
+    """Each point's simulation seed is label-derived via ``point_seed``, so
+    reordering or slicing the grid never changes any cell's numbers."""
+    points = make_points("perf-fig06-sweep", (
+        ({"system": system, "workload": workload, "threads": threads},
+         dict(system=system, workload=workload, threads_per_client=threads,
+              duration_ms=duration_ms, warmup_ms=warmup_ms,
+              cooldown_ms=cooldown_ms, record_count=record_count))
+        for workload in workloads
+        for system in systems
+        for threads in thread_counts))
+    return [SweepPoint(index=point.index, family=point.family,
+                       labels=point.labels,
+                       kwargs={**point.kwargs,
+                               "seed": point_seed(seed, point) % (2 ** 31)})
+            for point in points]
+
+
+def run_sweep_scenario(jobs: JobsSpec = 1,
+                       systems: Sequence[str] = ("C1", "C2", "CC2"),
+                       workloads: Sequence[str] = ("A", "B"),
+                       thread_counts: Sequence[int] = (4,),
+                       duration_ms: float = 8_000.0,
+                       warmup_ms: float = 1_500.0,
+                       cooldown_ms: float = 500.0,
+                       record_count: int = 500,
+                       seed: int = 42) -> Dict[str, Any]:
+    """A multi-point fig06-style sweep through the sweep engine.
+
+    Run at ``jobs=1`` and ``jobs=2`` as two scenarios, the recorded pair
+    shows the multiprocess speedup of figure regeneration; the event and
+    operation totals are identical at any job count (determinism).  Beyond
+    events/ops the scenario reports per-point wall timings, which land in
+    ``BENCH_perf.json``.
+    """
+    points = build_sweep_scenario_points(
+        systems=systems, workloads=workloads, thread_counts=thread_counts,
+        duration_ms=duration_ms, warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        record_count=record_count, seed=seed)
+    sweep = run_sweep(points, _sweep_point, jobs=jobs)
+    records = sweep.records()
+    return {
+        "events": sum(record["events"] for record in records),
+        "ops": sum(record["ops"] for record in records),
+        "points": len(records),
+        "sweep_jobs": sweep.jobs,
+        "sweep_wall_s": round(sweep.wall_s, 4),
+        "point_walls_s": [round(outcome.wall_s, 4)
+                          for outcome in sweep.outcomes],
+    }
+
+
 #: scenario name -> (callable, full-scale kwargs, quick kwargs).
 PERF_SCENARIOS: Dict[str, tuple] = {
     "fig06-closed-loop": (
@@ -170,6 +247,24 @@ PERF_SCENARIOS: Dict[str, tuple] = {
         dict(threads_per_client=4, duration_ms=10_000.0, warmup_ms=2_000.0,
              cooldown_ms=500.0, record_count=300),
     ),
+    # The serial/parallel pair measures the sweep engine itself: identical
+    # grids, identical event totals, only the job count differs — their
+    # wall-clock ratio is the committed multiprocess speedup (on a
+    # multi-core host; a single-core runner shows ~1x plus fork overhead).
+    "fig06-sweep-serial": (
+        run_sweep_scenario,
+        dict(jobs=1),
+        dict(jobs=1, systems=("C1", "CC2"), workloads=("A",),
+             thread_counts=(2,), duration_ms=4_000.0, warmup_ms=1_000.0,
+             cooldown_ms=500.0, record_count=300),
+    ),
+    "fig06-sweep-parallel": (
+        run_sweep_scenario,
+        dict(jobs=2),
+        dict(jobs=2, systems=("C1", "CC2"), workloads=("A",),
+             thread_counts=(2,), duration_ms=4_000.0, warmup_ms=1_000.0,
+             cooldown_ms=500.0, record_count=300),
+    ),
 }
 
 
@@ -181,17 +276,25 @@ def scenario_names() -> Sequence[str]:
 # measurement
 # ---------------------------------------------------------------------------
 
-def _measure(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
+def _measure(fn: Callable[..., Dict[str, Any]], kwargs: Dict[str, Any],
              repeats: int) -> Dict[str, Any]:
-    """Run ``fn`` ``repeats`` times; report the best wall-clock time."""
+    """Run ``fn`` ``repeats`` times; report the best wall-clock time.
+
+    Any extra keys the scenario returns besides ``events``/``ops`` (e.g. the
+    sweep scenarios' point count and per-point wall timings) are passed
+    through into the recorded stats, taken from the same repeat that
+    produced the reported best wall time so the recorded numbers are
+    internally consistent.
+    """
     walls: List[float] = []
-    counts: Dict[str, int] = {}
+    runs: List[Dict[str, Any]] = []
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        counts = fn(**kwargs)
+        runs.append(fn(**kwargs))
         walls.append(time.perf_counter() - start)
     best = min(walls)
-    return {
+    counts = runs[walls.index(best)]
+    stats = {
         "wall_s": round(best, 4),
         "runs_s": [round(w, 4) for w in walls],
         "events": counts["events"],
@@ -199,6 +302,9 @@ def _measure(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
         "events_per_s": round(counts["events"] / best, 1),
         "ops_per_s": round(counts["ops"] / best, 1),
     }
+    stats.update({key: value for key, value in counts.items()
+                  if key not in ("events", "ops")})
+    return stats
 
 
 def _profile(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
@@ -215,16 +321,24 @@ def _profile(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
 
 def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
              repeats: int = 3, profile_top: int = 0,
-             seed: Optional[int] = None,
+             seed: Optional[int] = None, jobs: JobsSpec = 1,
              echo: Callable[[str], None] = print) -> Dict[str, Any]:
     """Measure every requested scenario; returns the scenario -> stats map.
 
     ``seed`` overrides each scenario's default seed; note that the recorded
     event/ops counts are seed-specific, so gate comparisons only make sense
     between runs at the same seed (the default).
+
+    ``jobs`` fans whole scenarios across worker processes (each scenario's
+    repeats stay inside one worker).  Co-scheduled scenarios contend for
+    cores, so per-scenario wall times are only comparable between runs at
+    the same ``jobs``; the trajectory records the job count per entry for
+    exactly that reason.  Profiling (``profile_top``) forces serial
+    execution.
     """
+    jobs = resolve_jobs(jobs)
     names = list(scenarios) if scenarios else list(PERF_SCENARIOS)
-    measured: Dict[str, Any] = {}
+    tasks: List[tuple] = []
     for name in names:
         if name not in PERF_SCENARIOS:
             raise KeyError(f"unknown perf scenario {name!r}; "
@@ -233,10 +347,22 @@ def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
         kwargs = dict(quick_kwargs if quick else full_kwargs)
         if seed is not None:
             kwargs["seed"] = seed
-        measured[name] = _measure(fn, kwargs, repeats)
-        if profile_top > 0:
-            echo(f"--- cProfile top {profile_top}: {name} ---")
-            echo(_profile(fn, kwargs, profile_top))
+        tasks.append((name, fn, kwargs))
+    measured: Dict[str, Any] = {}
+    if jobs == 1 or profile_top > 0 or len(tasks) <= 1:
+        for name, fn, kwargs in tasks:
+            measured[name] = _measure(fn, kwargs, repeats)
+            if profile_top > 0:
+                echo(f"--- cProfile top {profile_top}: {name} ---")
+                echo(_profile(fn, kwargs, profile_top))
+        return measured
+    from concurrent.futures import ProcessPoolExecutor
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
+                             mp_context=pool_context()) as pool:
+        futures = [(name, pool.submit(_measure, fn, kwargs, repeats))
+                   for name, fn, kwargs in tasks]
+        for name, future in futures:
+            measured[name] = future.result()
     return measured
 
 
@@ -273,11 +399,50 @@ def latest_entry(trajectory: Dict[str, Any],
     return None
 
 
+def gate_reference(trajectory: Dict[str, Any], quick: bool, jobs: int = 1,
+                   measured: Optional[Dict[str, Any]] = None
+                   ) -> Optional[Dict[str, Any]]:
+    """Per-scenario best (min wall_s) committed stats comparable to this run.
+
+    The regression gate used to compare against the *last* committed entry,
+    which meant one slow recorded run (a loaded CI host) permanently
+    loosened the gate.  Instead, take the fastest committed wall time per
+    scenario among comparable entries: same scale (``quick``), same
+    cross-scenario job count, and — when ``measured`` is given — the same
+    deterministic event count as the run being gated, so stale entries from
+    an old scenario scale or a seed-overridden run never become (or poison)
+    the reference.  A scenario with committed history but no event-count
+    match falls back to its newest committed stats, which makes
+    :func:`check_regression` fail loudly on the drift instead of reporting
+    a missing reference.  Returns ``None`` when no comparable entry exists.
+    """
+    entries = [entry for entry in trajectory.get("entries", [])
+               if entry.get("quick") == quick
+               and entry.get("jobs", 1) == jobs]
+    if not entries:
+        return None
+    best: Dict[str, Any] = {}
+    newest: Dict[str, Any] = {}
+    for entry in entries:
+        for name, stats in entry.get("scenarios", {}).items():
+            newest[name] = stats
+            if measured is not None:
+                run = measured.get(name)
+                if run is None or stats.get("events") != run.get("events"):
+                    continue
+            if name not in best or stats["wall_s"] < best[name]["wall_s"]:
+                best[name] = stats
+    return {"label": "best committed per scenario",
+            "scenarios": {name: best.get(name, stats)
+                          for name, stats in newest.items()}}
+
+
 def append_entry(trajectory: Dict[str, Any], label: str, quick: bool,
-                 measured: Dict[str, Any]) -> Dict[str, Any]:
+                 measured: Dict[str, Any], jobs: int = 1) -> Dict[str, Any]:
     entry = {
         "label": label,
         "quick": quick,
+        "jobs": jobs,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": sys.version.split()[0],
         "scenarios": measured,
@@ -354,13 +519,15 @@ def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
               scenarios: Optional[Sequence[str]] = None,
               output: Optional[str] = None, save: bool = True,
               regression_gate: bool = False,
-              seed: Optional[int] = None) -> int:
+              seed: Optional[int] = None, jobs: JobsSpec = 1) -> int:
     """Entry point behind ``python -m repro.bench perf``."""
+    jobs = resolve_jobs(jobs)
     path = Path(output) if output else DEFAULT_RESULTS_PATH
     trajectory = load_trajectory(path)
-    committed = latest_entry(trajectory, quick)
     measured = run_perf(scenarios=scenarios, quick=quick, repeats=repeats,
-                        profile_top=profile_top, seed=seed)
+                        profile_top=profile_top, seed=seed, jobs=jobs)
+    committed = gate_reference(trajectory, quick, jobs=jobs,
+                               measured=measured)
     print(format_perf(measured, baseline=baseline_entry(trajectory, quick)))
     gate_ok = True
     if regression_gate:
@@ -375,7 +542,7 @@ def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
     if save:
         append_entry(trajectory,
                      label or ("quick" if quick else "full"),
-                     quick, measured)
+                     quick, measured, jobs=jobs)
         save_trajectory(trajectory, path)
         print(f"appended entry to {path}")
     return 0 if gate_ok else 1

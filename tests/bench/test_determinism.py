@@ -56,11 +56,16 @@ def trace_fingerprint() -> Dict[str, object]:
     }
 
 
-def figure_fingerprints() -> Dict[str, str]:
-    """Hashes of the rendered quick-scale figure reports (fixed seeds)."""
+def figure_fingerprints(jobs: int = 1) -> Dict[str, str]:
+    """Hashes of the rendered quick-scale figure reports (fixed seeds).
+
+    ``jobs`` routes the regeneration through the parallel sweep executor;
+    the hashes must be identical at any job count (the sweep engine merges
+    worker records in grid order).
+    """
     from repro.bench.cli import run_figure
 
-    return {name: _sha([run_figure(name, quick=True)])
+    return {name: _sha([run_figure(name, quick=True, jobs=jobs)])
             for name in ("fig06", "fig09")}
 
 
@@ -81,6 +86,11 @@ class TestDeterminism:
     @pytest.mark.slow
     def test_quick_figures_match_golden(self):
         assert figure_fingerprints() == _golden()["figures"]
+
+    @pytest.mark.slow
+    def test_quick_figures_match_golden_with_parallel_sweep(self):
+        """--jobs 2 must reproduce the committed serial golden hashes."""
+        assert figure_fingerprints(jobs=2) == _golden()["figures"]
 
 
 if __name__ == "__main__":
