@@ -22,6 +22,7 @@ from repro.bench.fig13_faults import (
     run_fig13_zookeeper,
     format_fig13,
 )
+from repro.bench.fig14_open_loop import run_fig14, format_fig14
 
 __all__ = [
     "ablations",
@@ -37,4 +38,5 @@ __all__ = [
     "run_fig11", "format_fig11",
     "run_fig12", "format_fig12",
     "run_fig13", "run_fig13_all", "run_fig13_zookeeper", "format_fig13",
+    "run_fig14", "format_fig14",
 ]

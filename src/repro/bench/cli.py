@@ -34,9 +34,9 @@ from repro.bench.sweep import JobsSpec, resolve_jobs
 
 from repro.bench import (
     format_fig05, format_fig06, format_fig07, format_fig08, format_fig09,
-    format_fig10, format_fig11, format_fig12, format_fig13,
+    format_fig10, format_fig11, format_fig12, format_fig13, format_fig14,
     run_fig05, run_fig06, run_fig07, run_fig08, run_fig09, run_fig10,
-    run_fig11, run_fig12, run_fig13_all,
+    run_fig11, run_fig12, run_fig13_all, run_fig14,
 )
 
 #: figure name -> (runner, formatter, full-scale kwargs, quick kwargs).
@@ -78,6 +78,10 @@ _FIGURES: Dict[str, tuple] = {
                    zk=dict(duration_ms=9_000.0, crash_at_ms=2_500.0,
                            crash_duration_ms=4_000.0, threads_per_client=1,
                            queue_depth=1_500))),
+    "fig14": (run_fig14, format_fig14,
+              dict(),
+              dict(rates=(100, 400), sessions=200, duration_ms=4_000.0,
+                   warmup_ms=1_000.0, cooldown_ms=500.0, record_count=200)),
 }
 
 

@@ -162,6 +162,44 @@ def run_fault_scenario(threads_per_client: int = 4,
     }
 
 
+def run_open_loop_scenario(binding: str = "cassandra",
+                           rate_ops_s: float = 800.0,
+                           policy: str = "queue",
+                           sessions: int = 1_000,
+                           max_in_flight: int = 16,
+                           queue_limit: int = 64,
+                           duration_ms: float = 12_000.0,
+                           warmup_ms: float = 2_000.0,
+                           cooldown_ms: float = 1_000.0,
+                           record_count: int = 500,
+                           seed: int = 42) -> Dict[str, int]:
+    """fig14-style open-loop Poisson load past saturation, with admission.
+
+    Exercises the load-engine paths the closed-loop scenario never touches:
+    per-arrival scheduling, session round-robin over a large pool, the
+    bounded in-flight admission queue, and queue-delay accounting.  The
+    stack is the figure's own (:func:`~repro.bench.fig14_open_loop.
+    build_session_stack` / :func:`~repro.bench.fig14_open_loop.
+    open_loop_runner`), so this scenario always benchmarks exactly the
+    configuration fig14 measures.
+    """
+    from repro.bench.fig14_open_loop import build_session_stack, open_loop_runner
+
+    stack = build_session_stack(binding, seed=seed,
+                                record_count=record_count, sessions=sessions)
+    label = f"perf-open-loop-{binding}-{policy}-{rate_ops_s}"
+    runner = open_loop_runner(
+        stack, seed=seed, label=label, rate_ops_s=rate_ops_s,
+        duration_ms=duration_ms, warmup_ms=warmup_ms,
+        cooldown_ms=cooldown_ms, max_in_flight=max_in_flight,
+        policy=policy, queue_limit=queue_limit, use_histograms=True)
+    result = runner.run()
+    return {
+        "events": stack.env.scheduler.events_executed,
+        "ops": result.total_ops,
+    }
+
+
 def _sweep_point(point: SweepPoint) -> Dict[str, int]:
     """One fig06-style grid cell: a full closed-loop sim, counted."""
     return run_closed_loop_scenario(**point.kwargs)
@@ -246,6 +284,13 @@ PERF_SCENARIOS: Dict[str, tuple] = {
              warmup_ms=3_000.0, cooldown_ms=1_000.0, record_count=300),
         dict(threads_per_client=4, duration_ms=10_000.0, warmup_ms=2_000.0,
              cooldown_ms=500.0, record_count=300),
+    ),
+    "fig14-open-loop": (
+        run_open_loop_scenario,
+        dict(rate_ops_s=800.0, sessions=1_000, duration_ms=20_000.0,
+             warmup_ms=3_000.0, cooldown_ms=1_000.0, record_count=500),
+        dict(rate_ops_s=400.0, sessions=200, duration_ms=8_000.0,
+             warmup_ms=1_500.0, cooldown_ms=500.0, record_count=200),
     ),
     # The serial/parallel pair measures the sweep engine itself: identical
     # grids, identical event totals, only the job count differs — their

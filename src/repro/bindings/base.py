@@ -21,9 +21,14 @@ The callback signature is ``callback(level, value, metadata=None, error=None)``:
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
-from repro.core.consistency import ConsistencyLevel
+from repro.core.consistency import (
+    ConsistencyLevel,
+    sort_levels,
+    validate_levels,
+)
+from repro.core.errors import BindingError, UnsupportedOperationError
 from repro.core.operations import Operation
 
 #: ``callback(level, value, metadata=None, error=None)``
@@ -50,3 +55,43 @@ class Binding(abc.ABC):
     def supports(self, level: ConsistencyLevel) -> bool:
         """Whether this binding offers ``level``."""
         return level in self.consistency_levels()
+
+    # -- shared level/operation validation ----------------------------------
+    # Every concrete binding used to hand-roll these checks; they live here
+    # so the error type and message are uniform across bindings.
+
+    def strongest_level(self) -> ConsistencyLevel:
+        """The strongest level this binding offers."""
+        levels = self.consistency_levels()
+        if not levels:
+            raise BindingError("binding advertises no consistency levels")
+        return sort_levels(levels)[-1]
+
+    def validate_levels(self, requested: Iterable[ConsistencyLevel]
+                        ) -> List[ConsistencyLevel]:
+        """``requested`` sorted weakest-first, checked against the binding.
+
+        Raises ``UnsupportedConsistencyError`` when ``requested`` is empty
+        or asks for a level the binding does not advertise, and
+        ``BindingError`` when the binding advertises nothing at all (see
+        :func:`repro.core.consistency.validate_levels`).
+        """
+        return validate_levels(requested, self.consistency_levels())
+
+    def reject_unsupported(self, operation: Operation,
+                           levels: List[ConsistencyLevel],
+                           callback: CallbackType) -> None:
+        """Report an unsupported operation kind through ``callback``.
+
+        Delivers one :class:`UnsupportedOperationError` at the strongest
+        requested level (the level that would have closed the Correctable),
+        so the caller's error path fires exactly once.
+        """
+        strongest = sort_levels(levels)[-1] if levels else self.strongest_level()
+        callback(strongest, None,
+                 error=self.unsupported_operation(operation))
+
+    def unsupported_operation(self, operation: Operation
+                              ) -> UnsupportedOperationError:
+        """The uniform error for an operation kind this binding lacks."""
+        return UnsupportedOperationError(type(self).__name__, operation.name)

@@ -25,7 +25,6 @@ from repro.bindings.base import Binding, CallbackType
 from repro.blockchain_sim.chain import Transaction
 from repro.blockchain_sim.network import BlockchainNetwork
 from repro.core.consistency import ConsistencyLevel
-from repro.core.errors import OperationError
 from repro.core.operations import Operation, custom
 
 #: Confirmation milestones exposed as consistency levels.
@@ -63,9 +62,9 @@ class BlockchainBinding(Binding):
     def submit_operation(self, operation: Operation,
                          levels: List[ConsistencyLevel],
                          callback: CallbackType) -> None:
+        levels = self.validate_levels(levels)
         if operation.name != "transfer":
-            callback(levels[-1], None, error=OperationError(
-                f"blockchain binding does not support {operation.name!r}"))
+            self.reject_unsupported(operation, levels, callback)
             return
         sender, recipient, amount = operation.args
         transaction = Transaction(sender=sender, recipient=recipient,
@@ -73,7 +72,7 @@ class BlockchainBinding(Binding):
         self.transactions_submitted += 1
         self.network.submit_transaction(transaction)
 
-        pending_levels = sorted(levels, key=lambda lv: lv.strength)
+        pending_levels = levels
         delivered: Dict[str, bool] = {level.name: False
                                       for level in pending_levels}
 

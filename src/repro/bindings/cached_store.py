@@ -46,11 +46,9 @@ class CachedStoreBinding(Binding):
     def submit_operation(self, operation: Operation,
                          levels: List[ConsistencyLevel],
                          callback: CallbackType) -> None:
+        levels = self.validate_levels(levels)
         inner_levels = [lv for lv in levels if lv != CACHED]
-        strongest_inner = max(
-            (lv for lv in self.inner.consistency_levels()),
-            key=lambda lv: lv.strength,
-        )
+        strongest_inner = self.inner.strongest_level()
 
         if operation.name == "write":
             # Write-through coherence: refresh the cache, then forward.

@@ -20,7 +20,6 @@ from typing import List
 from repro.bindings.base import Binding, CallbackType
 from repro.cassandra_sim.client import CassandraClient
 from repro.core.consistency import ConsistencyLevel, STRONG, WEAK
-from repro.core.errors import OperationError
 from repro.core.operations import Operation
 
 
@@ -43,13 +42,13 @@ class CassandraBinding(Binding):
     def submit_operation(self, operation: Operation,
                          levels: List[ConsistencyLevel],
                          callback: CallbackType) -> None:
+        levels = self.validate_levels(levels)
         if operation.name == "read":
             self._submit_read(operation, levels, callback)
         elif operation.name == "write":
             self._submit_write(operation, levels, callback)
         else:
-            callback(levels[-1], None, error=OperationError(
-                f"Cassandra binding does not support {operation.name!r}"))
+            self.reject_unsupported(operation, levels, callback)
 
     # -- reads --------------------------------------------------------------
     def _submit_read(self, operation: Operation,

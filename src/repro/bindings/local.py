@@ -107,6 +107,7 @@ class LocalBinding(Binding):
     def submit_operation(self, operation: Operation,
                          levels: List[ConsistencyLevel],
                          callback: CallbackType) -> None:
+        levels = self.validate_levels(levels)
         self.operations_submitted += 1
         if WEAK in levels:
             self._deliver(self.weak_delay_ms, callback, WEAK, operation,
@@ -163,4 +164,4 @@ class LocalBinding(Binding):
                 return {"item": head, "remaining": remaining}
             item = self.store.dequeue(key)
             return {"item": item, "remaining": self.store.queue_length(key)}
-        raise OperationError(f"unsupported operation: {name}")
+        raise self.unsupported_operation(operation)

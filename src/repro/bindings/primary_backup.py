@@ -84,6 +84,7 @@ class PrimaryBackupBinding(Binding):
     def submit_operation(self, operation: Operation,
                          levels: List[ConsistencyLevel],
                          callback: CallbackType) -> None:
+        levels = self.validate_levels(levels)
         if WEAK in levels:
             self._deliver(self.backup_rtt_ms, callback, WEAK, operation,
                           use_backup=True)
@@ -118,5 +119,4 @@ class PrimaryBackupBinding(Binding):
             if not use_backup:
                 self.store.write(operation.key, value)
             return value
-        raise OperationError(
-            f"primary-backup binding does not support {operation.name!r}")
+        raise self.unsupported_operation(operation)

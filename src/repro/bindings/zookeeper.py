@@ -38,9 +38,9 @@ class ZooKeeperQueueBinding(Binding):
     def submit_operation(self, operation: Operation,
                          levels: List[ConsistencyLevel],
                          callback: CallbackType) -> None:
+        levels = self.validate_levels(levels)
         if operation.name not in ("enqueue", "dequeue"):
-            callback(levels[-1], None, error=OperationError(
-                f"ZooKeeper queue binding does not support {operation.name!r}"))
+            self.reject_unsupported(operation, levels, callback)
             return
         queue_path = operation.key or self.queue_path
         want_weak = WEAK in levels

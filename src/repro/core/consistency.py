@@ -88,6 +88,44 @@ def sort_levels(levels: Iterable[ConsistencyLevel]) -> List[ConsistencyLevel]:
     return sorted(unique, key=lambda lv: lv.strength)
 
 
+#: ``(requested, available) -> validated list``.  Both the client and the
+#: binding it submits to validate the same request (each is also usable on
+#: its own), and level sets are tiny and static, so successful validations
+#: are memoized — the second layer costs a dict lookup, not two sorts.
+_VALIDATION_CACHE: Dict[tuple, List[ConsistencyLevel]] = {}
+
+
+def validate_levels(requested: Iterable[ConsistencyLevel],
+                    available: Iterable[ConsistencyLevel]
+                    ) -> List[ConsistencyLevel]:
+    """``requested`` sorted weakest-first, checked against ``available``.
+
+    The one level-validation routine shared by :class:`CorrectableClient`
+    and every :class:`~repro.bindings.base.Binding` (the bindings used to
+    hand-roll this check each in their own way).  Raises
+    ``UnsupportedConsistencyError`` when the request is empty or asks for a
+    level the binding does not advertise, and ``BindingError`` when the
+    binding advertises nothing at all.
+    """
+    from repro.core.errors import BindingError, UnsupportedConsistencyError
+
+    cache_key = (tuple(requested), tuple(available))
+    validated = _VALIDATION_CACHE.get(cache_key)
+    if validated is None:
+        available = sort_levels(cache_key[1])
+        if not available:
+            raise BindingError("binding advertises no consistency levels")
+        validated = sort_levels(cache_key[0])
+        if not validated:
+            raise UnsupportedConsistencyError(validated, available)
+        missing = [level for level in validated if level not in available]
+        if missing:
+            raise UnsupportedConsistencyError(missing, available)
+        _VALIDATION_CACHE[cache_key] = validated
+    # A fresh list per call: callers treat the result as their own.
+    return list(validated)
+
+
 def strongest(levels: Iterable[ConsistencyLevel]) -> ConsistencyLevel:
     """The strongest level in ``levels`` (raises ``ValueError`` if empty)."""
     ordered = sort_levels(levels)

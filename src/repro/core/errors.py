@@ -11,6 +11,22 @@ class OperationError(CorrectableError):
     """An operation failed at the storage layer (e.g. key missing, rejected)."""
 
 
+class UnsupportedOperationError(OperationError):
+    """A binding was asked to execute an operation kind it does not implement.
+
+    Every binding raises (or delivers through its callback) this one type,
+    with a uniform message, instead of hand-rolling its own ``OperationError``
+    string — callers can catch it specifically to fall back to another
+    binding.
+    """
+
+    def __init__(self, binding_name: str, operation_name: str) -> None:
+        super().__init__(
+            f"{binding_name} does not support operation {operation_name!r}")
+        self.binding_name = binding_name
+        self.operation_name = operation_name
+
+
 class BindingError(CorrectableError):
     """A binding was misused or misbehaved (wrong level, duplicate close, ...)."""
 

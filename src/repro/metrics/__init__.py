@@ -3,9 +3,11 @@
 from repro.metrics.latency import HistogramRecorder, LatencyRecorder
 from repro.metrics.bandwidth import BandwidthProbe
 from repro.metrics.divergence import DivergenceCounter
+from repro.metrics.queueing import AdmissionStats
 from repro.metrics.summary import format_table, format_row
 
 __all__ = [
+    "AdmissionStats",
     "HistogramRecorder",
     "LatencyRecorder",
     "BandwidthProbe",

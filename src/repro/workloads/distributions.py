@@ -8,6 +8,14 @@
 * *Latest* — like Zipfian but anchored at the most recently inserted record,
   so reads skew towards what was just written.  This is the distribution
   under which the paper observes up to 25 % divergence (Figure 7).
+
+A chooser consumes draws from the ``random.Random`` it is given; when the
+same instance also feeds other decisions (e.g. the read/update mix), the two
+streams perturb each other — changing the mix silently changes which keys
+get chosen.  :meth:`repro.workloads.ycsb.OperationGenerator.seeded`
+therefore passes each chooser a dedicated, label-keyed stream (the same
+convention as the sweep engine's ``derive_point_rng``), so key choice is
+independent of every other draw made with the same seed.
 """
 
 from __future__ import annotations
@@ -42,6 +50,11 @@ class ZipfianKeyChooser:
 
     ZIPFIAN_CONSTANT = 0.99
 
+    #: ``(n, theta) -> zeta(n, theta)``; the harmonic sum is O(n) to compute
+    #: and identical for every chooser over the same key space, so open-loop
+    #: runs with thousands of per-session generators compute it once.
+    _zeta_cache: dict = {}
+
     def __init__(self, record_count: int, rng: random.Random,
                  theta: Optional[float] = None) -> None:
         if record_count <= 0:
@@ -49,7 +62,10 @@ class ZipfianKeyChooser:
         self.record_count = record_count
         self._rng = rng
         self.theta = self.ZIPFIAN_CONSTANT if theta is None else theta
-        self._zetan = self._zeta(record_count, self.theta)
+        cache_key = (record_count, self.theta)
+        if cache_key not in self._zeta_cache:
+            self._zeta_cache[cache_key] = self._zeta(record_count, self.theta)
+        self._zetan = self._zeta_cache[cache_key]
         self._zeta2 = self._zeta(2, self.theta)
         self._alpha = 1.0 / (1.0 - self.theta)
         denominator = 1 - self._zeta2 / self._zetan

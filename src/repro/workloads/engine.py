@@ -1,0 +1,225 @@
+"""Shared load-generation machinery (the ``LoadEngine`` base).
+
+Both load generators in :mod:`repro.workloads.runner` — the closed-loop
+runner the paper's experiments use and the open-loop runner the saturation
+experiments use — share everything except *when the next operation starts*:
+
+* issuing one operation through a system-agnostic ``issue`` function and
+  receiving its completion information through a ``done`` callback;
+* warm-up / cool-down windows excluded from measurement;
+* arming an optional fault script relative to the run's start time, so
+  fault schedules compose identically with either loop shape;
+* latency / divergence / degraded-or-failed accounting into a
+  :class:`RunResult` (exact recorders by default, O(1) histograms for perf
+  runs at scale).
+
+:class:`LoadEngine` owns all of that; subclasses only implement
+:meth:`LoadEngine._start_load` (closed loop: start N client threads; open
+loop: schedule the first arrival).  The completion-recording path is kept
+bit-for-bit identical to the pre-refactor ``ClosedLoopRunner`` so every
+committed figure table is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.metrics.divergence import DivergenceCounter
+from repro.metrics.latency import HistogramRecorder, LatencyRecorder
+from repro.metrics.queueing import AdmissionStats
+from repro.sim.scheduler import Scheduler
+
+#: ``issue(op_type, key, value, done)`` executes one operation and eventually
+#: calls ``done(info)`` where ``info`` may contain:
+#:   ``final_latency_ms``          overall completion latency,
+#:   ``preliminary_latency_ms``    latency of the preliminary view (if any),
+#:   ``diverged``                  True when preliminary != final,
+#:   ``had_preliminary``           False when no preliminary view arrived,
+#:   ``degraded``                  True when the storage answered with less
+#:                                 than the requested quorum (fault recovery),
+#:   ``failed``                    True when the operation errored out.
+IssueFunction = Callable[[str, str, Optional[str], Callable[[Dict[str, Any]], None]], None]
+
+
+@dataclass
+class RunResult:
+    """Aggregated metrics for one load-run configuration."""
+
+    label: str
+    duration_ms: float
+    measured_ops: int = 0
+    total_ops: int = 0
+    final_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    preliminary_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    update_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    divergence: DivergenceCounter = field(default_factory=DivergenceCounter)
+    #: Operations answered with less than the requested quorum (whole run).
+    degraded_ops: int = 0
+    #: Operations that errored out, e.g. exhausted timeouts (whole run).
+    failed_ops: int = 0
+    #: Offered-load accounting (open-loop runs only; None for closed loops).
+    admission: Optional[AdmissionStats] = None
+
+    def throughput_ops_per_sec(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.measured_ops / (self.duration_ms / 1000.0)
+
+    def offered_ops_per_sec(self) -> float:
+        """Measured offered load (open loop); falls back to throughput."""
+        if self.admission is None or self.duration_ms <= 0:
+            return self.throughput_ops_per_sec()
+        return self.admission.measured_offered / (self.duration_ms / 1000.0)
+
+    def summary(self) -> Dict[str, Any]:
+        summary = {
+            "label": self.label,
+            "throughput_ops_s": self.throughput_ops_per_sec(),
+            "final_mean_ms": self.final_latency.mean(),
+            "final_p99_ms": self.final_latency.p99(),
+            "preliminary_mean_ms": self.preliminary_latency.mean(),
+            "preliminary_p99_ms": self.preliminary_latency.p99(),
+            "divergence_pct": self.divergence.divergence_percent(),
+            "measured_ops": self.measured_ops,
+            "degraded_ops": self.degraded_ops,
+            "failed_ops": self.failed_ops,
+        }
+        if self.admission is not None:
+            summary.update(self.admission.summary())
+            summary["offered_ops_s"] = self.offered_ops_per_sec()
+        return summary
+
+
+class LoadEngine:
+    """Base class for load generators running over simulated time.
+
+    Owns the measurement windows, fault arming, and completion accounting;
+    a subclass decides how operations are scheduled by implementing
+    :meth:`_start_load` (called once the run's time windows are fixed).
+    """
+
+    def __init__(self, scheduler: Scheduler, issue: IssueFunction,
+                 duration_ms: float = 30_000.0, warmup_ms: float = 5_000.0,
+                 cooldown_ms: float = 5_000.0, label: str = "run",
+                 faults: Optional[Any] = None,
+                 use_histograms: bool = False,
+                 admission: Optional[AdmissionStats] = None,
+                 drain_ms: float = 60_000.0) -> None:
+        if duration_ms <= warmup_ms + cooldown_ms:
+            raise ValueError("duration must exceed warmup + cooldown")
+        self.scheduler = scheduler
+        self.issue = issue
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.cooldown_ms = cooldown_ms
+        self.label = label
+        #: A :class:`repro.faults.FaultInjector` (or anything with ``arm``):
+        #: its schedule is armed relative to the run's start time, so fault
+        #: scripts compose with warm-up windows the same way on every run —
+        #: and identically for closed- and open-loop arrival shapes.
+        self.faults = faults
+        #: Slack after ``end_time`` so in-flight operations drain.
+        self.drain_ms = drain_ms
+        self.start_time = 0.0
+        self.end_time = 0.0
+        self._measure_start = 0.0
+        self._measure_end = 0.0
+        measured_ms = duration_ms - warmup_ms - cooldown_ms
+        if use_histograms:
+            # O(1)-per-sample recorders for perf runs at scale; the figure
+            # harnesses keep the default exact recorders so committed tables
+            # stay bit-identical.
+            self.result = RunResult(
+                label=label, duration_ms=measured_ms,
+                final_latency=HistogramRecorder(),
+                preliminary_latency=HistogramRecorder(),
+                read_latency=HistogramRecorder(),
+                update_latency=HistogramRecorder(),
+                admission=admission)
+        else:
+            self.result = RunResult(
+                label=label, duration_ms=measured_ms, admission=admission)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Fix the time windows and start the load; the caller then runs
+        the scheduler."""
+        self.start_time = self.scheduler.now()
+        self.end_time = self.start_time + self.duration_ms
+        self._measure_start = self.start_time + self.warmup_ms
+        self._measure_end = self.end_time - self.cooldown_ms
+        if self.faults is not None:
+            self.faults.arm(offset_ms=self.start_time)
+        self._start_load()
+
+    def _start_load(self) -> None:
+        """Schedule the subclass's first operation(s)."""
+        raise NotImplementedError
+
+    def run(self) -> RunResult:
+        """Start the load, run the simulation past the end, return metrics."""
+        self.start()
+        # Allow some slack after end_time so in-flight operations drain.
+        self.scheduler.run(until=self.end_time + self.drain_ms)
+        return self.result
+
+    def in_measurement_window(self, at_ms: float) -> bool:
+        """Whether an instant falls inside the measured (post-warm-up,
+        pre-cool-down) window."""
+        return self._measure_start <= at_ms <= self._measure_end
+
+    # -- recording -----------------------------------------------------------------
+    def record_completion(self, op_type: str, issued_at: float,
+                          info: Dict[str, Any],
+                          arrived_at: Optional[float] = None) -> None:
+        """Account one completed operation.
+
+        ``issued_at`` is when the operation reached the storage; for open
+        loops ``arrived_at`` is the (earlier) instant the user showed up, so
+        recorded latencies are the response times the *user* observes
+        (queue delay + service time) and the measurement window is judged
+        against the true arrival instant — the same instant the admission
+        counters classified, with no float round-trip in between.  Closed
+        loops omit it (arrival == issue) and the accounting reduces exactly
+        to the original closed-loop behaviour.
+        """
+        self.result.total_ops += 1
+        # Fault outcomes are counted over the whole run (not only the
+        # measurement window): a fault script may overlap warm-up/cool-down
+        # and recovery behaviour is interesting wherever it happens.
+        if info.get("degraded"):
+            self.result.degraded_ops += 1
+        if info.get("failed"):
+            self.result.failed_ops += 1
+        completed_at = self.scheduler.now()
+        if arrived_at is None:
+            arrived_at = issued_at
+        queue_delay_ms = issued_at - arrived_at
+        if not (self._measure_start <= arrived_at and
+                completed_at <= self._measure_end):
+            return
+        self.result.measured_ops += 1
+        if self.result.admission is not None:
+            # One queue-delay sample per measured completion, so queue-delay
+            # and latency statistics describe the same operations.
+            self.result.admission.record_queue_delay(queue_delay_ms)
+        final_latency = info.get("final_latency_ms",
+                                 completed_at - issued_at)
+        if queue_delay_ms:
+            final_latency += queue_delay_ms
+        self.result.final_latency.record(final_latency)
+        if op_type == "read":
+            self.result.read_latency.record(final_latency)
+        else:
+            self.result.update_latency.record(final_latency)
+        if info.get("preliminary_latency_ms") is not None:
+            preliminary = info["preliminary_latency_ms"]
+            if queue_delay_ms:
+                preliminary += queue_delay_ms
+            self.result.preliminary_latency.record(preliminary)
+        if "diverged" in info:
+            self.result.divergence.record_outcome(
+                bool(info["diverged"]),
+                had_preliminary=info.get("had_preliminary", True))

@@ -1,76 +1,47 @@
-"""Closed-loop load generation inside the simulation.
+"""Load generation inside the simulation: closed- and open-loop runners.
 
-The paper's load experiments (Figures 6, 7, 8 and 11) use YCSB client threads
-in a closed loop: each thread issues one operation, waits for it to complete,
-then immediately issues the next.  :class:`ClosedLoopRunner` reproduces that
-behaviour on simulated time, with warm-up and cool-down periods excluded from
-measurement (the paper elides the first and last 15 s of 60 s trials).
+The paper's load experiments (Figures 6, 7, 8 and 11) use YCSB client
+threads in a closed loop: each thread issues one operation, waits for it to
+complete, then immediately issues the next.  :class:`ClosedLoopRunner`
+reproduces that behaviour on simulated time, with warm-up and cool-down
+periods excluded from measurement (the paper elides the first and last 15 s
+of 60 s trials).
 
-The runner is system-agnostic: the experiment harness supplies an ``issue``
-function that executes one operation against whatever stack is under test and
-reports completion (with optional preliminary/final latencies and divergence
-information) through a ``done`` callback.
+A closed loop can only show latency at the throughput it self-limits to; it
+says nothing about behaviour under *offered* load.  :class:`OpenLoopRunner`
+schedules operation arrivals from a deterministic arrival process
+(:mod:`repro.workloads.arrivals`) across a pool of lightweight client
+sessions, with bounded in-flight admission control (queue or shed) and
+queue-delay accounting — the regime the saturation experiments (fig14)
+measure.
+
+Both runners share :class:`~repro.workloads.engine.LoadEngine`: the same
+``issue``/``done`` contract, warm-up/cool-down windows, fault-script arming,
+and metrics accounting.  They are system-agnostic: the experiment harness
+supplies an ``issue`` function that executes one operation against whatever
+stack is under test and reports completion (with optional preliminary/final
+latencies and divergence information) through a ``done`` callback.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+import inspect
+from collections import deque
+from functools import partial
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
-from repro.metrics.divergence import DivergenceCounter
-from repro.metrics.latency import HistogramRecorder, LatencyRecorder
+from repro.metrics.queueing import AdmissionStats
 from repro.sim.scheduler import Scheduler
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.engine import IssueFunction, LoadEngine, RunResult
 from repro.workloads.ycsb import OperationGenerator
 
-#: ``issue(op_type, key, value, done)`` executes one operation and eventually
-#: calls ``done(info)`` where ``info`` may contain:
-#:   ``final_latency_ms``          overall completion latency,
-#:   ``preliminary_latency_ms``    latency of the preliminary view (if any),
-#:   ``diverged``                  True when preliminary != final,
-#:   ``had_preliminary``           False when no preliminary view arrived,
-#:   ``degraded``                  True when the storage answered with less
-#:                                 than the requested quorum (fault recovery),
-#:   ``failed``                    True when the operation errored out.
-IssueFunction = Callable[[str, str, Optional[str], Callable[[Dict[str, Any]], None]], None]
-
-
-@dataclass
-class RunResult:
-    """Aggregated metrics for one load-run configuration."""
-
-    label: str
-    duration_ms: float
-    measured_ops: int = 0
-    total_ops: int = 0
-    final_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    preliminary_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    update_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    divergence: DivergenceCounter = field(default_factory=DivergenceCounter)
-    #: Operations answered with less than the requested quorum (whole run).
-    degraded_ops: int = 0
-    #: Operations that errored out, e.g. exhausted timeouts (whole run).
-    failed_ops: int = 0
-
-    def throughput_ops_per_sec(self) -> float:
-        if self.duration_ms <= 0:
-            return 0.0
-        return self.measured_ops / (self.duration_ms / 1000.0)
-
-    def summary(self) -> Dict[str, Any]:
-        return {
-            "label": self.label,
-            "throughput_ops_s": self.throughput_ops_per_sec(),
-            "final_mean_ms": self.final_latency.mean(),
-            "final_p99_ms": self.final_latency.p99(),
-            "preliminary_mean_ms": self.preliminary_latency.mean(),
-            "preliminary_p99_ms": self.preliminary_latency.p99(),
-            "divergence_pct": self.divergence.divergence_percent(),
-            "measured_ops": self.measured_ops,
-            "degraded_ops": self.degraded_ops,
-            "failed_ops": self.failed_ops,
-        }
+__all__ = [
+    "ClosedLoopRunner",
+    "IssueFunction",
+    "OpenLoopRunner",
+    "RunResult",
+]
 
 
 class _ClientThread:
@@ -117,7 +88,7 @@ class _ClientThread:
             self._issue_next()
 
 
-class ClosedLoopRunner:
+class ClosedLoopRunner(LoadEngine):
     """Runs N closed-loop client threads over simulated time and aggregates metrics."""
 
     def __init__(self, scheduler: Scheduler, issue: IssueFunction,
@@ -129,89 +100,179 @@ class ClosedLoopRunner:
                  use_histograms: bool = False) -> None:
         if threads <= 0:
             raise ValueError("need at least one client thread")
-        if duration_ms <= warmup_ms + cooldown_ms:
-            raise ValueError("duration must exceed warmup + cooldown")
-        self.scheduler = scheduler
-        self.issue = issue
+        super().__init__(scheduler, issue, duration_ms=duration_ms,
+                         warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+                         label=label, faults=faults,
+                         use_histograms=use_histograms)
         self.threads = threads
-        self.duration_ms = duration_ms
-        self.warmup_ms = warmup_ms
-        self.cooldown_ms = cooldown_ms
         self.think_time_ms = think_time_ms
-        self.label = label
-        #: A :class:`repro.faults.FaultInjector` (or anything with ``arm``):
-        #: its schedule is armed relative to the run's start time, so fault
-        #: scripts compose with warm-up windows the same way on every run.
-        self.faults = faults
         self._threads = [
             _ClientThread(self, i, make_generator(i)) for i in range(threads)
         ]
-        self.start_time = 0.0
-        self.end_time = 0.0
-        self._measure_start = 0.0
-        self._measure_end = 0.0
-        measured_ms = duration_ms - warmup_ms - cooldown_ms
-        if use_histograms:
-            # O(1)-per-sample recorders for perf runs at scale; the figure
-            # harnesses keep the default exact recorders so committed tables
-            # stay bit-identical.
-            self.result = RunResult(
-                label=label, duration_ms=measured_ms,
-                final_latency=HistogramRecorder(),
-                preliminary_latency=HistogramRecorder(),
-                read_latency=HistogramRecorder(),
-                update_latency=HistogramRecorder())
-        else:
-            self.result = RunResult(
-                label=label, duration_ms=measured_ms)
 
-    # -- lifecycle -----------------------------------------------------------
-    def start(self) -> None:
-        """Schedule all client threads; the caller then runs the scheduler."""
-        self.start_time = self.scheduler.now()
-        self.end_time = self.start_time + self.duration_ms
-        self._measure_start = self.start_time + self.warmup_ms
-        self._measure_end = self.end_time - self.cooldown_ms
-        if self.faults is not None:
-            self.faults.arm(offset_ms=self.start_time)
+    def _start_load(self) -> None:
         for thread in self._threads:
             # Start threads at slightly staggered instants so they do not all
             # hit the coordinator in the same event tick.
             self.scheduler.schedule(0.01 * thread.thread_id, thread.start)
 
-    def run(self) -> RunResult:
-        """Start the threads, run the simulation past the end, return metrics."""
-        self.start()
-        # Allow some slack after end_time so in-flight operations drain.
-        self.scheduler.run(until=self.end_time + 60_000.0)
-        return self.result
 
-    # -- recording -----------------------------------------------------------------
-    def record_completion(self, op_type: str, issued_at: float,
-                          info: Dict[str, Any]) -> None:
-        self.result.total_ops += 1
-        # Fault outcomes are counted over the whole run (not only the
-        # measurement window): a fault script may overlap warm-up/cool-down
-        # and recovery behaviour is interesting wherever it happens.
-        if info.get("degraded"):
-            self.result.degraded_ops += 1
-        if info.get("failed"):
-            self.result.failed_ops += 1
-        completed_at = self.scheduler.now()
-        if not (self._measure_start <= issued_at and
-                completed_at <= self._measure_end):
+class _Session:
+    """One lightweight simulated user: a session id plus its workload state.
+
+    Thousands of these share one ``issue`` function (and, underneath it,
+    one client/binding) — there is no per-user thread object, just the
+    generator that decides what this user asks for next.
+    """
+
+    __slots__ = ("session_id", "generator")
+
+    def __init__(self, session_id: int, generator: OperationGenerator) -> None:
+        self.session_id = session_id
+        self.generator = generator
+
+
+class OpenLoopRunner(LoadEngine):
+    """Issues operations when an arrival process says users arrive.
+
+    Admitted arrivals are spread round-robin over ``sessions`` lightweight
+    client sessions (each with its own operation generator, so per-user
+    workload state — e.g. the *Latest* distribution's insertion frontier —
+    stays per-user; shed arrivals consume neither a session turn nor a
+    generator draw).  Admission control bounds concurrency:
+
+    * ``max_in_flight=None`` — no bound: every arrival is issued
+      immediately (pure open loop; latency is the store's own).
+    * ``max_in_flight=N, policy="queue"`` — arrivals beyond N wait in a
+      FIFO queue (bounded by ``queue_limit``; overflow is shed).  Queue
+      delay is accounted separately and added to the recorded response
+      times — this is the component that explodes at saturation.
+    * ``max_in_flight=N, policy="shed"`` — arrivals beyond N are dropped
+      on the spot (load shedding; latency stays flat, goodput saturates).
+
+    Fault scripts compose exactly as with the closed loop: the schedule is
+    armed relative to the run's start, independent of the arrival shape.
+    """
+
+    POLICIES = ("queue", "shed")
+
+    def __init__(self, scheduler: Scheduler, issue: IssueFunction,
+                 make_generator: Callable[[int], OperationGenerator],
+                 arrivals: ArrivalProcess, sessions: int = 100,
+                 duration_ms: float = 30_000.0, warmup_ms: float = 5_000.0,
+                 cooldown_ms: float = 5_000.0, label: str = "open-loop",
+                 faults: Optional[Any] = None, use_histograms: bool = False,
+                 max_in_flight: Optional[int] = None, policy: str = "queue",
+                 queue_limit: Optional[int] = None) -> None:
+        if sessions <= 0:
+            raise ValueError("need at least one client session")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown admission policy {policy!r}; "
+                             f"choose from {list(self.POLICIES)}")
+        if max_in_flight is not None and max_in_flight <= 0:
+            raise ValueError("max_in_flight must be positive (or None)")
+        if queue_limit is not None and queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative (or None)")
+        super().__init__(scheduler, issue, duration_ms=duration_ms,
+                         warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+                         label=label, faults=faults,
+                         use_histograms=use_histograms,
+                         admission=AdmissionStats(use_histograms=use_histograms))
+        self.arrivals = arrivals
+        self.max_in_flight = max_in_flight
+        self.policy = policy
+        self.queue_limit = queue_limit
+        self._sessions = [
+            _Session(i, make_generator(i)) for i in range(sessions)
+        ]
+        self._next_session = 0
+        self._in_flight = 0
+        #: Waiting arrivals: (session_id, op_type, key, value, arrived_at).
+        self._waiting: Deque[Tuple[int, str, str, Optional[str], float]] = deque()
+        self._next_arrival_at = 0.0
+        # An issue function may declare a fifth ``session_id`` parameter to
+        # receive the session the runner chose for the operation — then the
+        # user-to-client-session mapping is the runner's single rotation,
+        # structural rather than a second rotation kept in lockstep by hand.
+        try:
+            parameters = inspect.signature(issue).parameters
+            self._issue_takes_session = (len(parameters) >= 5
+                                         or "session_id" in parameters)
+        except (TypeError, ValueError):
+            self._issue_takes_session = False
+
+    @property
+    def admission(self) -> AdmissionStats:
+        return self.result.admission  # type: ignore[return-value]
+
+    # -- arrival scheduling --------------------------------------------------
+    def _start_load(self) -> None:
+        self._next_arrival_at = self.start_time
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        at = self._next_arrival_at + self.arrivals.next_gap_ms()
+        self._next_arrival_at = at
+        if at >= self.end_time:
             return
-        self.result.measured_ops += 1
-        final_latency = info.get("final_latency_ms",
-                                 completed_at - issued_at)
-        self.result.final_latency.record(final_latency)
-        if op_type == "read":
-            self.result.read_latency.record(final_latency)
+        self.scheduler.schedule_call_at(at, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        now = self.scheduler.now()
+        measured = self.in_measurement_window(now)
+        admission = self.admission
+        admission.record_arrival(measured)
+        # Decide the arrival's fate *before* consuming a session or a
+        # generator draw: a shed arrival must not advance either, so the
+        # runner's session rotation stays in lockstep with any rotation the
+        # ``issue`` function keeps (e.g. a client-layer SessionPool) — one
+        # step per issued operation, in issue order.  (Whenever the wait
+        # queue is non-empty every in-flight slot is taken — completions
+        # refill from the queue first — so admitted operations are issued
+        # in arrival order and the lockstep holds under queueing too.)
+        can_issue = (self.max_in_flight is None
+                     or self._in_flight < self.max_in_flight)
+        can_queue = self.policy == "queue" and (
+            self.queue_limit is None
+            or len(self._waiting) < self.queue_limit)
+        if not (can_issue or can_queue):
+            admission.record_shed(measured)
+            self._schedule_next_arrival()
+            return
+        session = self._sessions[self._next_session]
+        self._next_session += 1
+        if self._next_session == len(self._sessions):
+            self._next_session = 0
+        op_type, key, value = session.generator.next_operation()
+        if can_issue:
+            self._issue_admitted(session.session_id, op_type, key, value,
+                                 arrived_at=now)
         else:
-            self.result.update_latency.record(final_latency)
-        if info.get("preliminary_latency_ms") is not None:
-            self.result.preliminary_latency.record(info["preliminary_latency_ms"])
-        if "diverged" in info:
-            self.result.divergence.record_outcome(
-                bool(info["diverged"]),
-                had_preliminary=info.get("had_preliminary", True))
+            self._waiting.append((session.session_id, op_type, key, value,
+                                  now))
+            admission.record_queue_depth(len(self._waiting))
+        self._schedule_next_arrival()
+
+    # -- issuing and completion ----------------------------------------------
+    def _issue_admitted(self, session_id: int, op_type: str, key: str,
+                        value: Optional[str], arrived_at: float) -> None:
+        now = self.scheduler.now()
+        self._in_flight += 1
+        self.admission.record_issue(self._in_flight)
+        done = partial(self._on_done, op_type, now, arrived_at)
+        if self._issue_takes_session:
+            self.issue(op_type, key, value, done, session_id)
+        else:
+            self.issue(op_type, key, value, done)
+
+    def _on_done(self, op_type: str, issued_at: float, arrived_at: float,
+                 info: Dict[str, Any]) -> None:
+        self._in_flight -= 1
+        self.record_completion(op_type, issued_at, info,
+                               arrived_at=arrived_at)
+        if self._waiting and (self.max_in_flight is None
+                              or self._in_flight < self.max_in_flight):
+            session_id, queued_op, key, value, arrived_at = \
+                self._waiting.popleft()
+            self._issue_admitted(session_id, queued_op, key, value,
+                                 arrived_at)

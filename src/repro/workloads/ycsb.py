@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.sim.rand import derive_rng
 from repro.workloads.distributions import make_key_chooser
 from repro.workloads.records import Dataset
 
@@ -57,17 +58,47 @@ def workload_by_name(name: str) -> WorkloadSpec:
 
 
 class OperationGenerator:
-    """Draws operations according to a workload spec over a dataset."""
+    """Draws operations according to a workload spec over a dataset.
+
+    Two random streams drive a generator: the *key* stream (which record)
+    and the *mix* stream (read or update).  Constructed with a single
+    ``rng``, both decisions share that one instance — the historical
+    behaviour the committed figure tables were produced with, kept for
+    byte-compatibility.  The sharing couples the streams: changing the
+    read proportion shifts which keys get chosen.  :meth:`seeded` instead
+    derives two independent, label-keyed streams (the ``derive_point_rng``
+    convention), so key choice survives mix changes unchanged; new
+    harnesses (the open-loop experiments) use it.
+    """
 
     def __init__(self, spec: WorkloadSpec, dataset: Dataset,
-                 rng: random.Random) -> None:
+                 rng: Optional[random.Random] = None, *,
+                 key_rng: Optional[random.Random] = None,
+                 mix_rng: Optional[random.Random] = None) -> None:
+        if rng is None and (key_rng is None or mix_rng is None):
+            raise ValueError("pass either a shared rng or both key_rng "
+                             "and mix_rng")
         self.spec = spec
         self.dataset = dataset
-        self._rng = rng
-        self._chooser = make_key_chooser(spec.request_distribution,
-                                         dataset.record_count, rng)
+        self._rng = mix_rng if mix_rng is not None else rng
+        self._chooser = make_key_chooser(
+            spec.request_distribution, dataset.record_count,
+            key_rng if key_rng is not None else rng)
         self.reads_generated = 0
         self.updates_generated = 0
+
+    @classmethod
+    def seeded(cls, spec: WorkloadSpec, dataset: Dataset, seed: int,
+               label: str) -> "OperationGenerator":
+        """A generator whose key and mix streams are independently seeded.
+
+        Streams are derived as ``{label}:keys`` and ``{label}:mix`` from the
+        experiment seed, so each is reproducible on its own and neither
+        perturbs the other (nor any other consumer of the same seed).
+        """
+        return cls(spec, dataset,
+                   key_rng=derive_rng(seed, f"{label}:keys"),
+                   mix_rng=derive_rng(seed, f"{label}:mix"))
 
     def next_operation(self) -> Tuple[str, str, Optional[str]]:
         """Return ``(op_type, key, value)``; value is None for reads."""

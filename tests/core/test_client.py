@@ -176,3 +176,60 @@ class TestInstrumentation:
         c = client.invoke_strong(read("k"))
         binding.respond(0, STRONG, "v")
         assert c.final_view().timestamp == 123.0
+
+
+class TestSessionMultiplexing:
+    def test_pool_size_and_iteration(self):
+        client = CorrectableClient(ScriptedBinding())
+        pool = client.sessions(5)
+        assert len(pool) == 5
+        assert [s.session_id for s in pool] == [0, 1, 2, 3, 4]
+        assert all(s.client is client for s in pool)
+
+    def test_pool_requires_positive_size(self):
+        client = CorrectableClient(ScriptedBinding())
+        with pytest.raises(ValueError):
+            client.sessions(0)
+
+    def test_round_robin_is_deterministic(self):
+        pool = CorrectableClient(ScriptedBinding()).sessions(3)
+        order = [pool.next_session().session_id for _ in range(7)]
+        assert order == [0, 1, 2, 0, 1, 2, 0]
+        assert pool.session(1) is list(pool)[1]
+
+    def test_sessions_share_one_binding(self):
+        binding = ScriptedBinding()
+        pool = CorrectableClient(binding).sessions(100)
+        for _ in range(100):
+            pool.next_session().invoke_strong(read("k"))
+        # Every invocation went through the one shared binding/client.
+        assert len(binding.submissions) == 100
+        assert pool.client.invocations == 100
+
+    def test_per_session_invocation_counters(self):
+        pool = CorrectableClient(ScriptedBinding()).sessions(2)
+        pool.session(0).invoke(read("a"))
+        pool.session(0).invoke_weak(read("b"))
+        pool.session(1).invoke_strong(write("c", 1))
+        assert pool.session(0).invocations == 2
+        assert pool.session(1).invocations == 1
+        assert pool.total_invocations() == 3
+
+    def test_session_invocations_behave_like_the_client(self):
+        binding = ScriptedBinding(levels=(WEAK, STRONG))
+        session = CorrectableClient(binding).sessions(1).session(0)
+        c = session.invoke(read("k"))
+        binding.respond(0, WEAK, "w")
+        binding.respond(0, STRONG, "s")
+        assert [v.value for v in c.views()] == ["w", "s"]
+        assert c.state is CorrectableState.FINAL
+        # Level validation happens once, against the shared binding.
+        with pytest.raises(UnsupportedConsistencyError):
+            session.invoke(read("k"), levels=[CAUSAL])
+
+    def test_camelcase_aliases_on_sessions(self):
+        binding = ScriptedBinding()
+        session = CorrectableClient(binding).sessions(1).session(0)
+        session.invokeWeak(read("a"))
+        session.invokeStrong(read("b"))
+        assert [s["levels"] for s in binding.submissions] == [[WEAK], [STRONG]]
