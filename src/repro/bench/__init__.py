@@ -23,6 +23,7 @@ from repro.bench.fig13_faults import (
     format_fig13,
 )
 from repro.bench.fig14_open_loop import run_fig14, format_fig14
+from repro.bench.fig15_rebalance import run_fig15, format_fig15
 
 __all__ = [
     "ablations",
@@ -39,4 +40,5 @@ __all__ = [
     "run_fig12", "format_fig12",
     "run_fig13", "run_fig13_all", "run_fig13_zookeeper", "format_fig13",
     "run_fig14", "format_fig14",
+    "run_fig15", "format_fig15",
 ]

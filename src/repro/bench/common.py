@@ -9,14 +9,12 @@ uses quorum 2/3, and ``*CC2`` is CC2 with the confirmation optimization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.cassandra_sim.client import CassandraClient
-from repro.cassandra_sim.cluster import CassandraCluster
 from repro.cassandra_sim.config import CassandraConfig
-from repro.sim.environment import SimEnvironment
-from repro.sim.topology import Region
+from repro.core.cluster_spec import REMOTE_CONTACTS, BuiltCluster, ClusterSpec
+from repro.sim.topology import Region, replica_regions_default
 from repro.workloads.records import Dataset
 from repro.workloads.runner import ClosedLoopRunner, RunResult
 from repro.workloads.ycsb import OperationGenerator, WorkloadSpec
@@ -32,26 +30,10 @@ CASSANDRA_SYSTEMS: Dict[str, Dict[str, Any]] = {
     "*CC2": {"r": 2, "icg": True, "confirmation_optimization": True},
 }
 
-#: Client region -> contact (coordinator) region used by the load experiments:
-#: every client connects to a *remote* replica, as in the paper.
-REMOTE_CONTACTS: Dict[str, str] = {
-    Region.IRL: Region.FRK,
-    Region.FRK: Region.VRG,
-    Region.VRG: Region.IRL,
-}
-
-
-@dataclass
-class CassandraScenario:
-    """A wired-up Cassandra deployment plus its client nodes."""
-
-    env: SimEnvironment
-    cluster: CassandraCluster
-    dataset: Dataset
-    clients: Dict[str, CassandraClient] = field(default_factory=dict)
-
-    def client_in(self, region: str) -> CassandraClient:
-        return self.clients[region]
+#: Historical name for the built deployment; construction now lives in
+#: :class:`repro.core.cluster_spec.ClusterSpec` (as does
+#: :data:`REMOTE_CONTACTS`, re-exported above unchanged).
+CassandraScenario = BuiltCluster
 
 
 def build_cassandra_scenario(seed: int = 0,
@@ -66,28 +48,26 @@ def build_cassandra_scenario(seed: int = 0,
                              client_fallbacks: bool = False) -> CassandraScenario:
     """Build a 3-replica cluster (FRK/IRL/VRG by default) with clients and data.
 
+    Deprecated shim over :class:`repro.core.cluster_spec.ClusterSpec` — new
+    code should build a spec directly (it also exposes node count, RF, and
+    vnodes).  Kept because its construction sequence produced the committed
+    figure tables; a default spec reproduces it byte for byte.
+
     ``client_fallbacks=True`` gives every client the remaining replicas as
     backup coordinators (used by the fault experiments together with
     ``CassandraConfig.fault_tolerant()``).
     """
-    env = SimEnvironment(seed=seed)
-    config = config if config is not None else CassandraConfig(
-        value_size_bytes=value_size_bytes)
-    cluster = CassandraCluster(env, config, replica_regions=replica_regions)
-    dataset = Dataset(record_count=record_count,
-                      value_size_bytes=value_size_bytes,
-                      key_prefix=key_prefix, seed=seed)
-    if preload:
-        cluster.preload(dataset.initial_items())
-    contacts = contacts if contacts is not None else REMOTE_CONTACTS
-    scenario = CassandraScenario(env=env, cluster=cluster, dataset=dataset)
-    for region in client_regions:
-        contact_region = contacts.get(region, Region.FRK)
-        client = cluster.add_client(f"ycsb-client-{region}", region=region,
-                                    contact_region=contact_region,
-                                    fallbacks=client_fallbacks)
-        scenario.clients[region] = client
-    return scenario
+    regions = tuple(replica_regions if replica_regions is not None
+                    else replica_regions_default())
+    spec = ClusterSpec(nodes=len(regions), regions=regions,
+                       config=config, seed=seed,
+                       record_count=record_count,
+                       value_size_bytes=value_size_bytes,
+                       key_prefix=key_prefix,
+                       client_regions=tuple(client_regions),
+                       contacts=contacts, preload=preload,
+                       client_fallbacks=client_fallbacks)
+    return spec.build()
 
 
 def make_kv_issue(client: CassandraClient, system: str,

@@ -45,7 +45,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.bench.common import build_cassandra_scenario, cassandra_config_for
+from repro.bench.common import cassandra_config_for
+from repro.core.cluster_spec import ClusterSpec
 from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
 from repro.bindings.cassandra import CassandraBinding
 from repro.bindings.primary_backup import (
@@ -82,10 +83,10 @@ def _setup_cassandra(seed: int, record_count: int):
     stale: a W=1 write acknowledged by one coordinator takes a WAN hop to
     reach the other, whose R=1 preliminaries read the old value meanwhile.
     """
-    scenario = build_cassandra_scenario(
+    scenario = ClusterSpec(
         seed=seed, record_count=record_count,
         client_regions=(Region.IRL, Region.FRK),
-        config=cassandra_config_for("CC2"))
+        config=cassandra_config_for("CC2")).build()
     bindings = [CassandraBinding(scenario.client_in(region),
                                  strong_read_quorum=2, write_quorum=1)
                 for region in (Region.IRL, Region.FRK)]

@@ -1,0 +1,392 @@
+"""Figure 15 (beyond the paper): reads under live ring rebalancing.
+
+The paper's experiments run against a fixed replica set.  This harness
+measures what ICG reads look like while the replica set *changes*: a node
+joins (bootstrap → stream → announce → serve) or decommissions (stream out →
+retire) in the middle of an open-loop run, and every completed operation is
+classified against the rebalance window into a *before* / *during* / *after*
+phase.  The grid crosses cluster size × key skew × rebalance event:
+
+* **cluster size** — more nodes means more, smaller key ranges move, so the
+  disruption is shorter per range but touches more sources;
+* **key skew** — YCSB Zipfian with a dialled ``theta`` (``uniform``,
+  ``zipf-0.99``, ``zipf-1.2``); hot-partition regimes concentrate traffic on
+  few keys, so a range move either misses the hot set entirely or hits all
+  of it;
+* **event** — ``join`` adds ``cassandra-{N}-{region}`` to the ring,
+  ``decommission`` retires the last node.
+
+Every point also verifies the safety property the protocol promises: after
+the run drains, **no acknowledged write may be lost** — for every write the
+client saw acked, the post-rebalance owner set must hold a version at least
+that new (``lost_acked_writes`` must be 0; forwarded writes plus range
+streaming are what make it hold).
+
+Shapes to expect: *before* and *after* rows match a static ring; *during*
+rows show a modest final-latency tail (stream batches compete with
+foreground traffic on the source replicas, and a handful of operations pay
+a stale-epoch retry or a client failover) and, under skew, a staleness
+bump while the hot keys' new owners are still catching up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.common import cassandra_config_for
+from repro.bench.sweep import JobsSpec, SweepPoint, make_points, run_sweep
+from repro.cassandra_sim.client import CassandraClient
+from repro.cassandra_sim.versions import resolve
+from repro.core.cluster_spec import ClusterSpec
+from repro.metrics.summary import format_table
+from repro.sim.rand import derive_rng
+from repro.sim.topology import Region, round_robin_regions
+from repro.workloads.arrivals import make_arrival_process
+from repro.workloads.runner import OpenLoopRunner
+from repro.workloads.ycsb import OperationGenerator, workload_by_name
+
+DEFAULT_NODES = (6, 12)
+#: Key-skew regimes: YCSB uniform, the YCSB Zipfian constant, and a
+#: hot-partition regime concentrating most traffic on a handful of keys.
+DEFAULT_SKEWS = ("uniform", "zipf-0.99", "zipf-1.2")
+DEFAULT_EVENTS = ("join", "decommission")
+PHASES = ("before", "during", "after")
+
+#: Client regions driving the run (distinct coordinators, as in fig14).
+CLIENT_REGIONS = (Region.IRL, Region.FRK)
+
+
+def skew_workload(skew: str, workload: str = "A"):
+    """Map a skew label to a :class:`WorkloadSpec` (``zipf-{theta}`` dials
+    the Zipfian exponent; ``uniform`` ignores it)."""
+    base = workload_by_name(workload)
+    if skew == "uniform":
+        return base.with_distribution("uniform")
+    if skew.startswith("zipf-"):
+        return base.with_distribution("zipfian").with_skew(
+            float(skew[len("zipf-"):]))
+    raise ValueError(f"unknown skew label {skew!r}; "
+                     f"use 'uniform' or 'zipf-<theta>'")
+
+
+def make_rebalance_issue(clients: Sequence[CassandraClient],
+                         clock: Callable[[], float],
+                         samples: List[Dict[str, Any]],
+                         acked: Dict[str, Any]) -> Callable:
+    """A kv ``issue`` function over several clients that journals completions.
+
+    Operations rotate over ``clients`` by the runner's session id (user ``k``
+    issues through client ``k % len(clients)``).  Reads take the CC2 ICG
+    path (preliminary at R=1, final at R=2); updates write at W=1.  Every
+    completion is appended to ``samples`` with its completion instant, so
+    the caller can classify it against the rebalance window after the run;
+    every acked update records its write timestamp in ``acked``, the input
+    to the zero-lost-acknowledged-writes check.
+    """
+    rotation = {"next": 0}
+
+    def _issue(op_type: str, key: str, value: Optional[str],
+               done: Callable[[Dict[str, Any]], None],
+               session_id: Optional[int] = None) -> None:
+        if session_id is None:
+            session_id = rotation["next"]
+            rotation["next"] += 1
+        client = clients[session_id % len(clients)]
+
+        def _finish(info: Dict[str, Any]) -> None:
+            samples.append({"t": clock(), "op": op_type, **info})
+            done(info)
+
+        if op_type == "update":
+            def _on_ack(resp: Dict[str, Any]) -> None:
+                failed = "error" in resp
+                timestamp = resp.get("timestamp")
+                if not failed and timestamp is not None:
+                    previous = acked.get(key)
+                    if previous is None or timestamp > previous:
+                        acked[key] = timestamp
+                _finish({"final_latency_ms": resp["latency_ms"],
+                         "failed": failed})
+
+            client.write(key, value, w=1, on_final=_on_ack)
+            return
+
+        state: Dict[str, Any] = {"value": None, "latency": None, "had": False}
+
+        def _on_preliminary(resp: Dict[str, Any]) -> None:
+            state["had"] = True
+            state["value"] = resp["value"]
+            state["latency"] = resp["latency_ms"]
+
+        def _on_final(resp: Dict[str, Any]) -> None:
+            failed = "error" in resp
+            _finish({
+                "final_latency_ms": resp["latency_ms"],
+                "preliminary_latency_ms": state["latency"],
+                "had_preliminary": state["had"],
+                "diverged": (not failed and state["had"]
+                             and not resp.get("is_confirmation", False)
+                             and state["value"] != resp["value"]),
+                "failed": failed,
+            })
+
+        client.read(key, r=2, icg=True,
+                    on_preliminary=_on_preliminary, on_final=_on_final)
+
+    return _issue
+
+
+def count_lost_acked_writes(cluster, acked: Dict[str, Any]) -> int:
+    """Acked writes the post-rebalance owner set no longer holds.
+
+    For every key the client saw an ack for, resolve the newest version
+    across the key's *current* replicas; the write is lost if every owner's
+    version is older than the acked timestamp.  Zero is the acceptance
+    criterion: bootstrap forwarding plus range streaming must hand every
+    acknowledged write to the new owners.
+    """
+    lost = 0
+    for key, timestamp in acked.items():
+        versions = [cluster.replica_by_name(name).table.get(key)
+                    for name in cluster.partitioner.replicas_for(key)]
+        newest = resolve(versions)
+        if newest is None or newest.timestamp < timestamp:
+            lost += 1
+    return lost
+
+
+def _p99(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, int(len(ordered) * 0.99 + 0.999999) - 1)
+    return ordered[min(index, len(ordered) - 1)]
+
+
+def _phase_stats(samples: List[Dict[str, Any]],
+                 start: float, end: float) -> Dict[str, Dict[str, float]]:
+    """Classify completions against the rebalance window and summarize."""
+    buckets: Dict[str, List[Dict[str, Any]]] = {p: [] for p in PHASES}
+    for sample in samples:
+        if sample["t"] < start:
+            phase = "before"
+        elif sample["t"] <= end:
+            phase = "during"
+        else:
+            phase = "after"
+        buckets[phase].append(sample)
+    stats: Dict[str, Dict[str, float]] = {}
+    for phase, rows in buckets.items():
+        finals = [r["final_latency_ms"] for r in rows if not r.get("failed")]
+        prelims = [r["preliminary_latency_ms"] for r in rows
+                   if r.get("preliminary_latency_ms") is not None]
+        with_prelim = sum(1 for r in rows if r.get("had_preliminary"))
+        diverged = sum(1 for r in rows if r.get("diverged"))
+        stats[phase] = {
+            "ops": len(rows),
+            "final_mean_ms": sum(finals) / len(finals) if finals else 0.0,
+            "final_p99_ms": _p99(finals),
+            "prelim_mean_ms": sum(prelims) / len(prelims) if prelims else 0.0,
+            "staleness_pct": (100.0 * diverged / with_prelim
+                              if with_prelim else 0.0),
+            "failed": sum(1 for r in rows if r.get("failed")),
+        }
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# one grid cell
+# ---------------------------------------------------------------------------
+
+def run_fig15_point(point: SweepPoint) -> Dict:
+    """Run one (nodes, skew, event) cell of the Figure 15 grid."""
+    kwargs = point.kwargs
+    nodes = kwargs["nodes"]
+    skew = kwargs["skew"]
+    event = kwargs["event"]
+    seed = kwargs["seed"]
+    label = f"fig15-{nodes}-{skew}-{event}"
+
+    # Smaller stream batches than the config default: more, shorter transfer
+    # rounds widen the window in which streaming and foreground traffic
+    # genuinely interleave (the regime the figure measures).
+    config = replace(cassandra_config_for("CC2"),
+                     stream_batch_items=kwargs["stream_batch_items"])
+    built = ClusterSpec(nodes=nodes, config=config, seed=seed,
+                        record_count=kwargs["record_count"],
+                        vnodes_per_node=kwargs["vnodes"],
+                        client_regions=CLIENT_REGIONS,
+                        client_fallbacks=True).build()
+    cluster = built.cluster
+
+    samples: List[Dict[str, Any]] = []
+    acked: Dict[str, Any] = {}
+    issue = make_rebalance_issue(
+        [built.client_in(region) for region in CLIENT_REGIONS],
+        built.env.scheduler.now, samples, acked)
+
+    workload = skew_workload(skew, kwargs["workload"])
+    runner = OpenLoopRunner(
+        scheduler=built.env.scheduler, issue=issue,
+        make_generator=lambda session_id: OperationGenerator.seeded(
+            workload, built.dataset, seed, f"{label}-s{session_id}"),
+        arrivals=make_arrival_process(
+            "poisson", kwargs["rate_ops_s"],
+            derive_rng(seed, f"{label}:arrivals")),
+        sessions=kwargs["sessions"], duration_ms=kwargs["duration_ms"],
+        warmup_ms=kwargs["warmup_ms"], cooldown_ms=kwargs["cooldown_ms"],
+        label=label, max_in_flight=kwargs["max_in_flight"],
+        policy="queue", queue_limit=kwargs["queue_limit"])
+
+    regions = round_robin_regions(nodes)
+    if event == "join":
+        joiner_region = round_robin_regions(nodes + 1)[-1]
+        operation = cluster.join_node(f"cassandra-{nodes}-{joiner_region}",
+                                      joiner_region,
+                                      at_ms=kwargs["event_at_ms"])
+    elif event == "decommission":
+        # The last node is never a client contact (contacts are the first
+        # replicas of the FRK and VRG regions), so the event exercises the
+        # data path rather than client failover alone.
+        operation = cluster.decommission_node(
+            f"cassandra-{nodes - 1}-{regions[-1]}",
+            at_ms=kwargs["event_at_ms"])
+    else:
+        raise ValueError(f"unknown rebalance event {event!r}")
+
+    result = runner.run()
+    # Drain replication, forwarding, and any straggling stream traffic so
+    # the loss check inspects the settled post-rebalance state.
+    built.env.run_until_idle()
+    if not operation.done:
+        raise RuntimeError(f"{label}: rebalance did not complete "
+                           f"(started_at={operation.started_at})")
+
+    phases = _phase_stats(samples, operation.started_at,
+                          operation.completed_at)
+    record: Dict[str, Any] = {
+        "nodes": nodes,
+        "skew": skew,
+        "event": event,
+        "rebalance_ms": operation.duration_ms(),
+        "ranges_moved": operation.change.total_ranges(),
+        "keys_streamed": cluster.total_keys_streamed(),
+        "stale_retries": cluster.total_stale_epoch_retries(),
+        "writes_forwarded": cluster.total_writes_forwarded(),
+        "client_retries": sum(c.retries for c in cluster.clients),
+        "acked_writes": len(acked),
+        "lost_acked_writes": count_lost_acked_writes(cluster, acked),
+        "failed_ops": result.failed_ops,
+        "measured_ops": result.measured_ops,
+        "ring_version": cluster.partitioner.version,
+    }
+    for phase in PHASES:
+        for metric, value in phases[phase].items():
+            record[f"{phase}_{metric}"] = value
+    return record
+
+
+# ---------------------------------------------------------------------------
+# the grid
+# ---------------------------------------------------------------------------
+
+def build_fig15_points(nodes: Sequence[int] = DEFAULT_NODES,
+                       skews: Iterable[str] = DEFAULT_SKEWS,
+                       events: Iterable[str] = DEFAULT_EVENTS,
+                       rate_ops_s: float = 300.0,
+                       sessions: int = 200,
+                       max_in_flight: int = 64,
+                       queue_limit: int = 256,
+                       duration_ms: float = 8_000.0,
+                       warmup_ms: float = 1_000.0,
+                       cooldown_ms: float = 500.0,
+                       event_at_ms: float = 3_000.0,
+                       record_count: int = 600,
+                       stream_batch_items: int = 16,
+                       vnodes: Optional[int] = None,
+                       workload: str = "A",
+                       seed: int = 42) -> List[SweepPoint]:
+    """The (cluster size × key skew × rebalance event) grid."""
+    base = dict(rate_ops_s=rate_ops_s, sessions=sessions,
+                max_in_flight=max_in_flight, queue_limit=queue_limit,
+                duration_ms=duration_ms, warmup_ms=warmup_ms,
+                cooldown_ms=cooldown_ms, event_at_ms=event_at_ms,
+                record_count=record_count,
+                stream_batch_items=stream_batch_items,
+                vnodes=vnodes, workload=workload, seed=seed)
+    cells: List = []
+    for node_count in nodes:
+        for skew in skews:
+            for event in events:
+                cells.append((
+                    {"nodes": node_count, "skew": skew, "event": event},
+                    dict(base, nodes=node_count, skew=skew, event=event)))
+    return make_points("fig15", cells)
+
+
+def run_fig15(nodes: Sequence[int] = DEFAULT_NODES,
+              skews: Iterable[str] = DEFAULT_SKEWS,
+              events: Iterable[str] = DEFAULT_EVENTS,
+              rate_ops_s: float = 300.0, sessions: int = 200,
+              max_in_flight: int = 64, queue_limit: int = 256,
+              duration_ms: float = 8_000.0, warmup_ms: float = 1_000.0,
+              cooldown_ms: float = 500.0, event_at_ms: float = 3_000.0,
+              record_count: int = 600, stream_batch_items: int = 16,
+              vnodes: Optional[int] = None, workload: str = "A",
+              seed: int = 42, jobs: JobsSpec = 1) -> List[Dict]:
+    """Regenerate the Figure 15 rebalance series.
+
+    Returns one record per (nodes, skew, event); the sweep engine merges
+    worker records in grid order, so ``jobs`` never changes the output.
+    """
+    points = build_fig15_points(
+        nodes=nodes, skews=skews, events=events, rate_ops_s=rate_ops_s,
+        sessions=sessions, max_in_flight=max_in_flight,
+        queue_limit=queue_limit, duration_ms=duration_ms,
+        warmup_ms=warmup_ms, cooldown_ms=cooldown_ms,
+        event_at_ms=event_at_ms, record_count=record_count,
+        stream_batch_items=stream_batch_items, vnodes=vnodes,
+        workload=workload, seed=seed)
+    return run_sweep(points, run_fig15_point, jobs=jobs).records()
+
+
+def format_fig15(records: List[Dict]) -> str:
+    """Render the figure: per-phase latency table plus a rebalance summary."""
+    phase_headers = ["nodes", "skew", "event", "phase", "ops",
+                     "prelim mean (ms)", "final mean (ms)", "final p99 (ms)",
+                     "staleness (%)", "failed"]
+    phase_rows = []
+    for record in records:
+        for phase in PHASES:
+            phase_rows.append([
+                record["nodes"], record["skew"], record["event"], phase,
+                record[f"{phase}_ops"],
+                record[f"{phase}_prelim_mean_ms"],
+                record[f"{phase}_final_mean_ms"],
+                record[f"{phase}_final_p99_ms"],
+                record[f"{phase}_staleness_pct"],
+                record[f"{phase}_failed"],
+            ])
+    summary_columns = ["nodes", "skew", "event", "rebalance_ms",
+                       "ranges_moved", "keys_streamed", "stale_retries",
+                       "writes_forwarded", "client_retries", "acked_writes",
+                       "lost_acked_writes"]
+    summary_headers = ["nodes", "skew", "event", "rebalance (ms)", "ranges",
+                       "keys streamed", "stale retries", "fwd writes",
+                       "client retries", "acked writes", "lost acked"]
+    lines = [
+        format_table(
+            phase_headers, phase_rows,
+            title=("Figure 15 — read latency and staleness before/during/"
+                   "after a live ring rebalance (open-loop Poisson load, "
+                   "cluster size x key skew x join/decommission)")),
+        "",
+        format_table(
+            summary_headers,
+            [[record[c] for c in summary_columns] for record in records],
+            title=("Figure 15 (cont.) — rebalance mechanics per cell; "
+                   "'lost acked' must be 0: every acknowledged write "
+                   "survives the ownership change")),
+    ]
+    return "\n".join(lines)

@@ -181,6 +181,17 @@ class CassandraClient(FailoverMixin, Node):
         if pending is None:
             return
         self._settle(pending)
+        # A coordinator that left the ring answers with a *retryable* error:
+        # rotate to the next contact instead of failing the request (the
+        # rebalance analogue of timeout-driven failover).
+        if payload.get("retryable") and len(self._contacts) > 1 \
+                and pending.attempts < self._failover_retries():
+            pending.attempts += 1
+            pending.rotation_index += 1
+            self.retries += 1
+            self._pending[payload["req_id"]] = pending
+            self._redispatch(pending)
+            return
         self.failed_requests += 1
         if pending.on_final is not None:
             pending.on_final({

@@ -1,12 +1,29 @@
-"""Cluster assembly for the simulated Cassandra deployment."""
+"""Cluster assembly and membership orchestration for the simulated deployment.
+
+A cluster is built either the historical way (``replica_regions``: one node
+per region, names derived as ``cassandra-{i}-{region}``) or from an explicit
+``nodes`` list of ``(name, region)`` pairs — which is what
+:class:`repro.core.cluster_spec.ClusterSpec` produces for larger rings.
+
+Live membership changes run through :class:`~repro.cassandra_sim.rebalance.
+RingRebalance`: :meth:`CassandraCluster.join_node`,
+:meth:`~CassandraCluster.decommission_node` and
+:meth:`~CassandraCluster.remove_node` orchestrate bootstrap → stream →
+announce → serve on the simulation scheduler, optionally deferred to a
+future instant (``at_ms``) so an experiment can trigger a rebalance in the
+middle of a load run.  Forced removal pairs with the fault machinery: crash
+a replica with :class:`~repro.faults.injector.FaultInjector`, then
+``remove_node`` re-replicates its ranges from the survivors.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cassandra_sim.client import CassandraClient
 from repro.cassandra_sim.config import CassandraConfig
 from repro.cassandra_sim.partitioner import RingPartitioner
+from repro.cassandra_sim.rebalance import RingRebalance
 from repro.cassandra_sim.replica import CassandraReplica
 from repro.sim.environment import SimEnvironment
 from repro.sim.topology import Region, replica_regions_default
@@ -17,33 +34,60 @@ class CassandraCluster:
 
     def __init__(self, env: SimEnvironment,
                  config: Optional[CassandraConfig] = None,
-                 replica_regions: Optional[Sequence[str]] = None) -> None:
+                 replica_regions: Optional[Sequence[str]] = None,
+                 nodes: Optional[Sequence[Tuple[str, str]]] = None) -> None:
         self.env = env
         self.config = config if config is not None else CassandraConfig()
-        regions = list(replica_regions if replica_regions is not None
-                       else replica_regions_default())
-        if len(regions) < self.config.replication_factor:
-            raise ValueError(
-                "need at least as many replica regions as the replication factor")
-        names = [f"cassandra-{i}-{region}" for i, region in enumerate(regions)]
-        self.partitioner = RingPartitioner(names, self.config.replication_factor)
+        if nodes is not None:
+            if replica_regions is not None:
+                raise ValueError("pass either nodes or replica_regions, not both")
+            members = [(str(name), str(region)) for name, region in nodes]
+            if len(members) < self.config.replication_factor:
+                raise ValueError(
+                    "need at least as many nodes as the replication factor")
+        else:
+            regions = list(replica_regions if replica_regions is not None
+                           else replica_regions_default())
+            if len(regions) < self.config.replication_factor:
+                raise ValueError(
+                    "need at least as many replica regions as the replication factor")
+            members = [(f"cassandra-{i}-{region}", region)
+                       for i, region in enumerate(regions)]
+        names = [name for name, _ in members]
+        self.partitioner = RingPartitioner(
+            names, self.config.replication_factor,
+            vnodes_per_node=self.config.vnodes_per_node)
         self.replicas: List[CassandraReplica] = [
             CassandraReplica(name, region, env.network, self.config,
                              self.partitioner)
-            for name, region in zip(names, regions)
+            for name, region in members
         ]
+        #: Replicas that left the ring (kept registered so stragglers get
+        #: ``stale_epoch`` rejections instead of silent drops).
+        self.retired_replicas: List[CassandraReplica] = []
+        self._by_name: Dict[str, CassandraReplica] = {
+            replica.name: replica for replica in self.replicas}
         self._by_region: Dict[str, CassandraReplica] = {}
         for replica in self.replicas:
             self._by_region.setdefault(replica.region, replica)
         self._clients: List[CassandraClient] = []
+        #: Completed and in-flight :class:`RingRebalance` operations, in
+        #: start order.
+        self.rebalances: List[RingRebalance] = []
 
     # -- lookup -----------------------------------------------------------------
     def replica_in(self, region: str) -> CassandraReplica:
-        """The replica deployed in ``region``."""
+        """The (first) serving replica deployed in ``region``."""
         try:
             return self._by_region[region]
         except KeyError:
             raise KeyError(f"no replica deployed in region {region}") from None
+
+    def replica_by_name(self, name: str) -> CassandraReplica:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no replica named {name}") from None
 
     def replica_names(self) -> List[str]:
         return [replica.name for replica in self.replicas]
@@ -55,8 +99,9 @@ class CassandraCluster:
         """Create a client in ``region`` connected to the replica in ``contact_region``.
 
         ``fallbacks=True`` hands the client the remaining replicas as backup
-        coordinators so a client-side timeout can fail over (used by the
-        fault experiments together with ``config.client_timeout_ms``).
+        coordinators so a client-side timeout — or a retryable rejection from
+        a coordinator that left the ring — can fail over (used by the fault
+        and rebalance experiments).
         """
         contact = self.replica_in(contact_region)
         fallback_contacts = None
@@ -73,19 +118,105 @@ class CassandraCluster:
     def clients(self) -> List[CassandraClient]:
         return list(self._clients)
 
+    # -- membership changes ------------------------------------------------------
+    def join_node(self, name: str, region: str,
+                  vnodes: Optional[int] = None,
+                  at_ms: Optional[float] = None,
+                  on_complete=None) -> RingRebalance:
+        """Add a node to the ring: bootstrap → stream → announce → serve.
+
+        Starts immediately, or at absolute simulated time ``at_ms``.  The
+        returned operation exposes ``started_at`` / ``completed_at`` once the
+        respective phase has run.
+        """
+        return self._launch(RingRebalance(self, "join", name, region=region,
+                                          vnodes=vnodes,
+                                          on_complete=on_complete), at_ms)
+
+    def decommission_node(self, name: str, at_ms: Optional[float] = None,
+                          on_complete=None) -> RingRebalance:
+        """Gracefully remove a node: it streams its ranges out, then retires."""
+        return self._launch(RingRebalance(self, "decommission", name,
+                                          on_complete=on_complete), at_ms)
+
+    def remove_node(self, name: str, at_ms: Optional[float] = None,
+                    on_complete=None) -> RingRebalance:
+        """Forcibly remove a (typically crashed) node; survivors re-replicate."""
+        return self._launch(RingRebalance(self, "remove", name,
+                                          on_complete=on_complete), at_ms)
+
+    def _launch(self, operation: RingRebalance,
+                at_ms: Optional[float]) -> RingRebalance:
+        self.rebalances.append(operation)
+        if at_ms is None:
+            operation.start()
+        else:
+            self.env.scheduler.schedule_call_at(at_ms, operation.start)
+        return operation
+
+    def _add_replica(self, name: str, region: str,
+                     ring_state: str = "serving") -> CassandraReplica:
+        if name in self._by_name:
+            raise ValueError(f"replica {name!r} already exists")
+        replica = CassandraReplica(name, region, self.env.network, self.config,
+                                   self.partitioner)
+        replica.ring_state = ring_state
+        self.replicas.append(replica)
+        self._by_name[name] = replica
+        if ring_state == "serving":
+            self._by_region.setdefault(region, replica)
+        return replica
+
+    def _on_membership_committed(self, operation: RingRebalance) -> None:
+        """Update the serving indexes after a rebalance announces."""
+        replica = self.replica_by_name(operation.node_name)
+        if operation.kind == "join":
+            self._by_region.setdefault(replica.region, replica)
+            return
+        # Departure: drop from the serving set, keep on the network retired
+        # (and resolvable by name, so stragglers and tests can reach it).
+        self.replicas.remove(replica)
+        self.retired_replicas.append(replica)
+        if self._by_region.get(replica.region) is replica:
+            del self._by_region[replica.region]
+            for candidate in self.replicas:
+                if candidate.region == replica.region:
+                    self._by_region[replica.region] = candidate
+                    break
+
     # -- data loading ----------------------------------------------------------------
     def preload(self, items: Dict[str, object]) -> None:
-        """Install initial data identically on every replica (time zero state)."""
+        """Install initial data on every replica owning the key (time zero state)."""
         from repro.cassandra_sim.versions import VersionedValue
 
         for key, value in items.items():
             version = VersionedValue(value, (0.0, "preload", 0))
+            owners = self.partitioner.replicas_for(key)
             for replica in self.replicas:
-                replica.table.apply(key, version)
+                if replica.name in owners:
+                    replica.table.apply(key, version)
 
     # -- statistics -------------------------------------------------------------------
     def total_preliminaries_flushed(self) -> int:
-        return sum(r.preliminaries_flushed for r in self.replicas)
+        return sum(r.preliminaries_flushed
+                   for r in self.replicas + self.retired_replicas)
 
     def total_confirmations_sent(self) -> int:
-        return sum(r.confirmations_sent for r in self.replicas)
+        return sum(r.confirmations_sent
+                   for r in self.replicas + self.retired_replicas)
+
+    def total_keys_streamed(self) -> int:
+        return sum(r.keys_streamed_in
+                   for r in self.replicas + self.retired_replicas)
+
+    def total_stale_rejections(self) -> int:
+        return sum(r.stale_rejections
+                   for r in self.replicas + self.retired_replicas)
+
+    def total_stale_epoch_retries(self) -> int:
+        return sum(r.stale_epoch_retries
+                   for r in self.replicas + self.retired_replicas)
+
+    def total_writes_forwarded(self) -> int:
+        return sum(r.writes_forwarded
+                   for r in self.replicas + self.retired_replicas)

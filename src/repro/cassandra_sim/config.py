@@ -16,6 +16,12 @@ class CassandraConfig:
 
     #: Number of replicas holding each key.
     replication_factor: int = 3
+    #: Virtual nodes (tokens) each storage node places on the ring.  More
+    #: vnodes smooth per-node load and shrink the ranges a membership change
+    #: moves.  Determinism contract: the token layout is a pure function of
+    #: the node names and this count (``md5(f"{name}#{vnode}")``), so a given
+    #: membership always yields the same ring regardless of seeds or history.
+    vnodes_per_node: int = 8
     #: CPU time a replica spends serving one read (ms).
     read_service_ms: float = 1.5
     #: CPU time a replica spends applying one write (ms).
@@ -55,6 +61,25 @@ class CassandraConfig:
     client_timeout_ms: float = 0.0
     #: How many times the client re-issues a timed-out request.
     client_retries: int = 2
+    #: Range streaming (ring rebalancing): items shipped per stream batch.
+    #: Batches are stop-and-wait (next batch leaves when the previous one is
+    #: acknowledged), so smaller batches stretch a rebalance over more time.
+    stream_batch_items: int = 64
+    #: Service time the stream source pays to scan its table for one task's
+    #: key range (ms).
+    stream_scan_ms: float = 2.0
+    #: Service time the stream source pays to assemble one batch (ms).
+    stream_batch_ms: float = 0.5
+    #: Service time the stream target pays to apply one streamed item (ms).
+    stream_apply_ms_per_item: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        if self.vnodes_per_node <= 0:
+            raise ValueError("vnodes_per_node must be positive")
+        if self.stream_batch_items <= 0:
+            raise ValueError("stream_batch_items must be positive")
 
     def quorum(self) -> int:
         """Majority quorum size for this replication factor."""

@@ -1,16 +1,32 @@
-"""Consistent-hashing ring partitioner.
+"""Consistent-hashing ring partitioner with live membership changes.
 
 Maps every key to an ordered preference list of ``replication_factor``
 replicas.  With the paper's setup (3 nodes, RF = 3) every node owns every
 key, but the ring is implemented faithfully so clusters larger than the
 replication factor behave correctly too.
+
+The ring is a *mutable, versioned* object: :meth:`RingPartitioner.add_node`,
+:meth:`~RingPartitioner.remove_node` and :meth:`~RingPartitioner.decommission`
+edit the token layout and bump :attr:`~RingPartitioner.version` (the ring
+*epoch*).  Preference lists are cached per key and invalidated by epoch —
+an edit clears the cache once and lookups rebuild lazily, never wholesale.
+Every edit returns a deterministic :class:`RingChange` whose
+:class:`StreamTask` list says exactly which key ranges move between which
+nodes, so a joining/leaving node transfers precisely the ranges it
+gains/loses while the rest of the cluster keeps serving.
+
+Determinism contract: the token layout is a pure function of the node names
+and their vnode counts (``md5(f"{name}#{vnode}")``) — independent of join
+order, seeds, or wall clock — so the same membership history always yields
+the same ring, the same preference lists, and the same streaming plans.
 """
 
 from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def _hash_token(value: str) -> int:
@@ -18,8 +34,69 @@ def _hash_token(value: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def key_token(key: str) -> int:
+    """Position of ``key`` on the token ring (public for range checks)."""
+    return _hash_token(key)
+
+
+def node_tokens(name: str, vnodes: int) -> List[int]:
+    """The vnode tokens a node owns — a pure function of name and count."""
+    return [_hash_token(f"{name}#{vnode}") for vnode in range(vnodes)]
+
+
+def token_in_range(token: int, start: int, end: int) -> bool:
+    """Whether ``token`` falls in the half-open ring range ``[start, end)``.
+
+    Ranges wrap: when ``start >= end`` the range covers the ring seam
+    (``token >= start or token < end``).
+    """
+    if start < end:
+        return start <= token < end
+    return token >= start or token < end
+
+
+@dataclass(frozen=True)
+class StreamTask:
+    """One key range that must move from ``source`` to ``target``.
+
+    The range is half-open ``[start_token, end_token)`` on the ring (wrapping
+    when ``start_token >= end_token``); a key belongs to the task iff
+    :func:`token_in_range` holds for its token.
+    """
+
+    source: str
+    target: str
+    start_token: int
+    end_token: int
+
+    def contains_key(self, key: str) -> bool:
+        return token_in_range(_hash_token(key), self.start_token,
+                              self.end_token)
+
+
+@dataclass(frozen=True)
+class RingChange:
+    """A planned membership edit plus its deterministic streaming plan.
+
+    ``kind`` is ``"join"``, ``"decommission"`` (graceful: the leaving node
+    streams its ranges out) or ``"remove"`` (forced: a dead node's ranges are
+    re-replicated from the surviving owners).  ``base_version`` is the ring
+    epoch the plan was computed against; committing it produces
+    ``base_version + 1``.
+    """
+
+    kind: str
+    node: str
+    vnodes: int
+    base_version: int
+    tasks: Tuple[StreamTask, ...]
+
+    def total_ranges(self) -> int:
+        return len(self.tasks)
+
+
 class RingPartitioner:
-    """Consistent hashing with virtual nodes."""
+    """Consistent hashing with virtual nodes and live membership edits."""
 
     def __init__(self, node_names: Sequence[str], replication_factor: int,
                  vnodes_per_node: int = 8) -> None:
@@ -31,37 +108,67 @@ class RingPartitioner:
             raise ValueError(
                 f"replication factor {replication_factor} exceeds cluster "
                 f"size {len(node_names)}")
+        if vnodes_per_node <= 0:
+            raise ValueError("vnodes_per_node must be positive")
         self.node_names = list(node_names)
         self.replication_factor = replication_factor
-        self._ring: List[tuple] = []
-        for name in self.node_names:
-            for vnode in range(vnodes_per_node):
-                token = _hash_token(f"{name}#{vnode}")
-                self._ring.append((token, name))
-        self._ring.sort()
+        self.vnodes_per_node = vnodes_per_node
+        #: Ring epoch: bumped by every committed membership change.  Request
+        #: coordination stamps messages with it so replicas can reject
+        #: operations routed by a stale preference list.
+        self.version = 0
+        #: Per-node vnode count (heterogeneous counts are allowed on join).
+        self._vnodes: Dict[str, int] = {
+            name: vnodes_per_node for name in self.node_names}
+        self._ring: List[tuple] = self._build_ring(self._vnodes)
         self._tokens = [token for token, _ in self._ring]
-        # The ring is immutable after construction, so preference lists are
-        # pure functions of the key and can be cached (hot path: every
-        # coordinated read/write hashes its key).
+        # Preference lists are pure functions of (key, ring epoch); the cache
+        # is cleared once per committed edit and refilled lazily per key —
+        # it is never rebuilt wholesale (hot path: every coordinated
+        # read/write hashes its key).
         self._preference_cache: dict = {}
+        #: In-flight membership change (between ``begin`` and ``commit``).
+        self._pending: Optional[RingChange] = None
+        self._pending_ring: List[tuple] = []
+        self._pending_tokens: List[int] = []
+        self._pending_cache: dict = {}
 
-    def replicas_for(self, key: str) -> List[str]:
+    # -- ring construction --------------------------------------------------
+    @staticmethod
+    def _build_ring(vnode_counts: Dict[str, int]) -> List[tuple]:
+        ring: List[tuple] = []
+        for name, vnodes in vnode_counts.items():
+            for token in node_tokens(name, vnodes):
+                ring.append((token, name))
+        ring.sort()
+        return ring
+
+    @staticmethod
+    def _owners_at(ring: List[tuple], tokens: List[int], token: int,
+                   count: int) -> Tuple[str, ...]:
+        """The first ``count`` distinct owners clockwise from ``token``."""
+        owners: List[str] = []
+        index = bisect_right(tokens, token) % len(ring)
+        while len(owners) < count:
+            name = ring[index][1]
+            if name not in owners:
+                owners.append(name)
+            index = (index + 1) % len(ring)
+        return tuple(owners)
+
+    # -- lookups -------------------------------------------------------------
+    def replicas_for(self, key: str) -> Tuple[str, ...]:
         """The ordered preference list of replicas responsible for ``key``.
 
-        The returned list is cached and shared — treat it as read-only.
+        Returned as an immutable tuple: the entry is cached and shared
+        between callers, and survives until the next ring edit invalidates
+        it.
         """
         cached = self._preference_cache.get(key)
         if cached is not None:
             return cached
-        token = _hash_token(key)
-        start = bisect_right(self._tokens, token) % len(self._ring)
-        replicas: List[str] = []
-        index = start
-        while len(replicas) < self.replication_factor:
-            _, name = self._ring[index]
-            if name not in replicas:
-                replicas.append(name)
-            index = (index + 1) % len(self._ring)
+        replicas = self._owners_at(self._ring, self._tokens, _hash_token(key),
+                                   self.replication_factor)
         if len(self._preference_cache) >= 65536:
             self._preference_cache.clear()
         self._preference_cache[key] = replicas
@@ -73,3 +180,196 @@ class RingPartitioner:
 
     def is_replica(self, node_name: str, key: str) -> bool:
         return node_name in self.replicas_for(key)
+
+    def pending_replicas_for(self, key: str) -> Tuple[str, ...]:
+        """Nodes that will *gain* ``key`` once the in-flight change commits.
+
+        Empty outside a membership change.  Coordinators forward writes to
+        these nodes (without counting them towards the write quorum) so a
+        joining or gaining node misses no write issued while its ranges
+        stream — the invariant behind zero lost acknowledged writes.
+        """
+        if self._pending is None:
+            return ()
+        cached = self._pending_cache.get(key)
+        if cached is not None:
+            return cached
+        current = self.replicas_for(key)
+        future = self._owners_at(self._pending_ring, self._pending_tokens,
+                                 _hash_token(key), self.replication_factor)
+        gained = tuple(name for name in future if name not in current)
+        if len(self._pending_cache) >= 65536:
+            self._pending_cache.clear()
+        self._pending_cache[key] = gained
+        return gained
+
+    @property
+    def pending_change(self) -> Optional[RingChange]:
+        return self._pending
+
+    # -- planning ------------------------------------------------------------
+    def _plan(self, kind: str, node: str,
+              vnode_counts_after: Dict[str, int]) -> RingChange:
+        old_ring, old_tokens = self._ring, self._tokens
+        new_ring = self._build_ring(vnode_counts_after)
+        new_tokens = [token for token, _ in new_ring]
+        rf = self.replication_factor
+        boundaries = sorted(set(old_tokens) | set(new_tokens))
+        tasks: List[StreamTask] = []
+        for index, end in enumerate(boundaries):
+            start = boundaries[index - 1]
+            # Every [start, end) interval lies inside one elementary interval
+            # of both rings (the boundaries are the union), so its start
+            # token is a faithful representative for ownership lookups.
+            old_owners = self._owners_at(old_ring, old_tokens, start, rf)
+            new_owners = self._owners_at(new_ring, new_tokens, start, rf)
+            for gainer in new_owners:
+                if gainer in old_owners:
+                    continue
+                if kind == "join":
+                    source = old_owners[0]
+                elif kind == "decommission":
+                    # The leaving node owns the range (ownership only changes
+                    # on intervals whose walk passed its tokens) and streams
+                    # it out itself.
+                    source = node
+                else:  # forced remove: the dead node cannot stream
+                    survivors = [n for n in old_owners if n != node]
+                    if not survivors:  # RF=1 forced removal: range is lost
+                        continue
+                    source = survivors[0]
+                tasks.append(StreamTask(source=source, target=gainer,
+                                        start_token=start, end_token=end))
+        return RingChange(kind=kind, node=node,
+                          vnodes=(vnode_counts_after.get(node)
+                                  or self._vnodes.get(node, 0)),
+                          base_version=self.version, tasks=tuple(tasks))
+
+    def plan_join(self, name: str,
+                  vnodes: Optional[int] = None) -> RingChange:
+        """Plan adding ``name``: which ranges it gains, and from whom."""
+        if name in self._vnodes:
+            raise ValueError(f"node {name!r} is already in the ring")
+        if self._pending is not None:
+            raise RuntimeError("a membership change is already in flight")
+        vnodes = self.vnodes_per_node if vnodes is None else vnodes
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        after = dict(self._vnodes)
+        after[name] = vnodes
+        return self._plan("join", name, after)
+
+    def _plan_removal(self, kind: str, name: str) -> RingChange:
+        if name not in self._vnodes:
+            raise ValueError(f"node {name!r} is not in the ring")
+        if self._pending is not None:
+            raise RuntimeError("a membership change is already in flight")
+        if len(self._vnodes) - 1 < self.replication_factor:
+            raise ValueError(
+                f"removing {name!r} would leave {len(self._vnodes) - 1} "
+                f"nodes, fewer than the replication factor "
+                f"{self.replication_factor}")
+        after = dict(self._vnodes)
+        del after[name]
+        return self._plan(kind, name, after)
+
+    def plan_decommission(self, name: str) -> RingChange:
+        """Plan a graceful removal: the leaving node streams its ranges."""
+        return self._plan_removal("decommission", name)
+
+    def plan_remove(self, name: str) -> RingChange:
+        """Plan a forced removal: survivors re-replicate the lost ranges."""
+        return self._plan_removal("remove", name)
+
+    # -- two-phase application ------------------------------------------------
+    def begin(self, change: RingChange) -> None:
+        """Mark ``change`` in flight: pending owners start receiving writes.
+
+        Between ``begin`` and ``commit`` the serving ring is unchanged —
+        reads and writes route to the current owners — but
+        :meth:`pending_replicas_for` exposes the nodes each key's range is
+        moving to, so coordinators can forward writes alongside the
+        streaming snapshots.
+        """
+        if self._pending is not None:
+            raise RuntimeError("a membership change is already in flight")
+        if change.base_version != self.version:
+            raise ValueError(
+                f"change was planned against ring version "
+                f"{change.base_version}, current is {self.version}")
+        after = dict(self._vnodes)
+        if change.kind == "join":
+            after[change.node] = change.vnodes
+        else:
+            del after[change.node]
+        self._pending = change
+        self._pending_ring = self._build_ring(after)
+        self._pending_tokens = [token for token, _ in self._pending_ring]
+        self._pending_cache = {}
+
+    def commit(self, change: RingChange) -> None:
+        """Apply an in-flight change: new epoch, caches invalidated."""
+        if self._pending is not change:
+            raise RuntimeError("commit does not match the in-flight change")
+        if change.kind == "join":
+            self._vnodes[change.node] = change.vnodes
+            self.node_names.append(change.node)
+        else:
+            del self._vnodes[change.node]
+            self.node_names.remove(change.node)
+        self._ring = self._pending_ring
+        self._tokens = self._pending_tokens
+        self.version += 1
+        self._preference_cache = {}
+        self._pending = None
+        self._pending_ring = []
+        self._pending_tokens = []
+        self._pending_cache = {}
+
+    def abort(self, change: RingChange) -> None:
+        """Drop an in-flight change without touching the serving ring."""
+        if self._pending is not change:
+            raise RuntimeError("abort does not match the in-flight change")
+        self._pending = None
+        self._pending_ring = []
+        self._pending_tokens = []
+        self._pending_cache = {}
+
+    # -- one-shot edits --------------------------------------------------------
+    def add_node(self, name: str, vnodes: Optional[int] = None) -> RingChange:
+        """Add ``name`` to the ring immediately; returns the streaming plan.
+
+        One-shot begin+commit, for callers that orchestrate data movement
+        themselves (or tests of the layout); live clusters use the
+        two-phase :meth:`plan_join`/:meth:`begin`/:meth:`commit` protocol
+        through :class:`~repro.cassandra_sim.cluster.CassandraCluster`.
+        """
+        change = self.plan_join(name, vnodes)
+        self.begin(change)
+        self.commit(change)
+        return change
+
+    def decommission(self, name: str) -> RingChange:
+        """Remove ``name`` gracefully (it sources its ranges); one-shot."""
+        change = self.plan_decommission(name)
+        self.begin(change)
+        self.commit(change)
+        return change
+
+    def remove_node(self, name: str) -> RingChange:
+        """Remove ``name`` forcibly (survivors re-replicate); one-shot."""
+        change = self.plan_remove(name)
+        self.begin(change)
+        self.commit(change)
+        return change
+
+    # -- introspection ---------------------------------------------------------
+    def contains(self, name: str) -> bool:
+        return name in self._vnodes
+
+    def vnode_count(self, name: str) -> int:
+        return self._vnodes.get(name, 0)
+
+    def token_layout(self) -> Tuple[tuple, ...]:
+        """The sorted ``(token, node)`` ring — the determinism fingerprint."""
+        return tuple(self._ring)

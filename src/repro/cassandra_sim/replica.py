@@ -8,7 +8,20 @@ Message kinds handled:
 * ``write_req`` / ``write_ack`` — coordinator ↔ replica write application
   (write_req is also how asynchronous replication beyond W happens);
 * responses to clients: ``read_preliminary``, ``read_final``,
-  ``write_ack_client``.
+  ``write_ack_client``;
+* ``stream_data`` / ``stream_ack`` — range streaming during a ring
+  rebalance (stop-and-wait batches from the range's source to its gainer).
+
+Ring membership: every replica carries a ``ring_state`` (``serving``,
+``bootstrapping`` while joining, ``retired`` after leaving).  Coordinator ↔
+replica messages are stamped with the ring epoch
+(:attr:`RingPartitioner.version`); a replica that no longer owns a key —
+because the range streamed away in a committed rebalance — rejects the
+request with ``stale_epoch`` and the coordinator retries against the
+post-rebalance preference list.  While a change is in flight, coordinators
+forward writes to the nodes gaining the key's range (without counting them
+towards the write quorum), which is what makes acknowledged writes survive
+any join/decommission.
 
 Correctable Cassandra behaviour (Section 5.2): when a client read carries the
 ``icg`` flag, the coordinator performs *preliminary flushing* — an extra job
@@ -20,15 +33,27 @@ enabled, replaces an identical final response with a small confirmation.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cassandra_sim.config import CassandraConfig
 from repro.cassandra_sim.coordinator import ReadSession, WriteSession
-from repro.cassandra_sim.partitioner import RingPartitioner
+from repro.cassandra_sim.partitioner import RingPartitioner, StreamTask
 from repro.cassandra_sim.storage import LocalTable
 from repro.cassandra_sim.versions import VersionedValue
 from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
 from repro.sim.node import Node
+
+
+@dataclass
+class _StreamState:
+    """Source-side progress of one range-transfer task."""
+
+    stream_id: int
+    task: StreamTask
+    on_complete: Callable[[StreamTask], None]
+    keys: Tuple[str, ...] = ()
+    cursor: int = 0
 
 
 class CassandraReplica(Node):
@@ -40,8 +65,17 @@ class CassandraReplica(Node):
         self.config = config
         self.partitioner = partitioner
         self.table = LocalTable()
+        #: Ring membership state: ``serving`` (normal), ``bootstrapping``
+        #: (joining: applies forwarded writes and streamed data, serves no
+        #: client traffic yet), ``retired`` (left the ring: rejects
+        #: everything with ``stale_epoch`` so coordinators re-route).
+        self.ring_state = "serving"
         self._distance_cache: Dict[str, List[str]] = {}
+        #: Ring epoch the distance cache was built against.
+        self._distance_version = partitioner.version
         self._session_ids = itertools.count(1)
+        self._stream_ids = itertools.count(1)
+        self._streams: Dict[int, _StreamState] = {}
         self._write_seq = itertools.count(1)
         self._read_sessions: Dict[int, ReadSession] = {}
         self._write_sessions: Dict[int, WriteSession] = {}
@@ -57,15 +91,25 @@ class CassandraReplica(Node):
         self.writes_downgraded = 0
         self.reads_failed = 0
         self.writes_failed = 0
+        # Rebalance instrumentation (stays zero on a static ring).
+        self.stale_rejections = 0
+        self.stale_epoch_retries = 0
+        self.writes_forwarded = 0
+        self.keys_streamed_out = 0
+        self.keys_streamed_in = 0
 
     # -- helpers --------------------------------------------------------------
     def _other_replicas_by_distance(self, key: str) -> List[str]:
         """Replicas for ``key`` other than this node, closest first.
 
-        Cached per key: the ring, node regions, and RTT matrix are all fixed
-        for the lifetime of a cluster.  The returned list is shared — treat
-        it as read-only.
+        Cached per key and invalidated by ring epoch: node regions and the
+        RTT matrix are fixed, but a committed membership change re-routes
+        keys, so the cache is dropped whenever the partitioner version moves.
+        The returned list is shared — treat it as read-only.
         """
+        if self._distance_version != self.partitioner.version:
+            self._distance_cache.clear()
+            self._distance_version = self.partitioner.version
         cached = self._distance_cache.get(key)
         if cached is not None:
             return cached
@@ -91,6 +135,17 @@ class CassandraReplica(Node):
     # -- client read path -------------------------------------------------------
     def on_client_read(self, message: Message) -> None:
         payload = message.payload
+        if self.ring_state != "serving":
+            # A retired (or still bootstrapping) node no longer coordinates:
+            # the client rotates to its next contact.
+            self.stale_rejections += 1
+            self.send(message.src, "read_error",
+                      {"req_id": payload["req_id"],
+                       "error": f"coordinator {self.name} left the ring",
+                       "retryable": True},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.response_overhead_bytes))
+            return
         self.reads_coordinated += 1
         session = ReadSession(
             session_id=next(self._session_ids),
@@ -124,7 +179,8 @@ class CassandraReplica(Node):
         for replica_name in self._other_replicas_by_distance(key)[:max(0, remote_needed)]:
             session.contacted.append(replica_name)
             self.send(replica_name, "read_req",
-                      {"session_id": session.session_id, "key": key},
+                      {"session_id": session.session_id, "key": key,
+                       "epoch": self.partitioner.version},
                       size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes)
 
         self._maybe_finish_read(session)
@@ -157,6 +213,21 @@ class CassandraReplica(Node):
                      service_time_ms=self.config.read_service_ms)
 
     def _serve_read_req(self, coordinator: str, session_id: int, key: str) -> None:
+        if self.ring_state != "serving" \
+                or not self.partitioner.is_replica(self.name, key):
+            # The key's range streamed away (or this node left the ring)
+            # after the coordinator picked its preference list: reject so it
+            # retries against the post-rebalance owners.
+            self.stale_rejections += 1
+            self.send(coordinator, "read_resp",
+                      {"session_id": session_id,
+                       "replica": self.name,
+                       "stale_epoch": True,
+                       "epoch": self.partitioner.version,
+                       "found": False, "value": None, "timestamp": None},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.response_overhead_bytes))
+            return
         version = self.table.read(key)
         self.send(coordinator, "read_resp",
                   {"session_id": session_id,
@@ -172,6 +243,9 @@ class CassandraReplica(Node):
         payload = message.payload
         session = self._read_sessions.get(payload["session_id"])
         if session is None or session.final_sent:
+            return
+        if payload.get("stale_epoch"):
+            self._retry_read_after_stale_epoch(session)
             return
         version = None
         if payload["found"]:
@@ -194,6 +268,37 @@ class CassandraReplica(Node):
                                   + self.config.response_overhead_bytes
                                   + self._value_bytes(version)))
         self._maybe_finish_read(session)
+
+    def _retry_read_after_stale_epoch(self, session: ReadSession) -> None:
+        """Re-solicit a rejected read from the post-rebalance owners.
+
+        The rejecting replica streamed the key's range away (or left the
+        ring); the distance cache was invalidated by the epoch bump, so this
+        walk sees the fresh preference list.
+        """
+        self.stale_epoch_retries += 1
+        needed = session.r - len(session.responses)
+        for replica_name in self._other_replicas_by_distance(session.key):
+            if needed <= 0:
+                break
+            if replica_name in session.responses \
+                    or replica_name in session.contacted:
+                continue
+            needed -= 1
+            session.contacted.append(replica_name)
+            self.send(replica_name, "read_req",
+                      {"session_id": session.session_id, "key": session.key,
+                       "epoch": self.partitioner.version},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.key_size_bytes))
+        # If this node became an owner in the new epoch (possible when the
+        # rejected range moved here), answer from the local table directly.
+        if self.name not in session.responses \
+                and self.partitioner.is_replica(self.name, session.key):
+            session.record(self.name, self.table.read(session.key))
+            if self.name not in session.contacted:
+                session.contacted.append(self.name)
+            self._maybe_finish_read(session)
 
     # -- read timeouts (retry / downgrade) -------------------------------------
     def _arm_read_timeout(self, session: ReadSession) -> None:
@@ -220,7 +325,8 @@ class CassandraReplica(Node):
                 if replica_name not in session.contacted:
                     session.contacted.append(replica_name)
                 self.send(replica_name, "read_req",
-                          {"session_id": session.session_id, "key": session.key},
+                          {"session_id": session.session_id, "key": session.key,
+                           "epoch": self.partitioner.version},
                           size_bytes=(MESSAGE_HEADER_BYTES
                                       + self.config.key_size_bytes))
             self._arm_read_timeout(session)
@@ -297,6 +403,15 @@ class CassandraReplica(Node):
     # -- client write path --------------------------------------------------------
     def on_client_write(self, message: Message) -> None:
         payload = message.payload
+        if self.ring_state != "serving":
+            self.stale_rejections += 1
+            self.send(message.src, "write_error",
+                      {"req_id": payload["req_id"],
+                       "error": f"coordinator {self.name} left the ring",
+                       "retryable": True},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.response_overhead_bytes))
+            return
         self.writes_coordinated += 1
         timestamp = (self.scheduler.now(), self.name, next(self._write_seq))
         session = WriteSession(
@@ -325,7 +440,25 @@ class CassandraReplica(Node):
                       {"key": key,
                        "value": session.version.value,
                        "timestamp": session.version.timestamp,
-                       "session_id": session.session_id},
+                       "session_id": session.session_id,
+                       "epoch": self.partitioner.version},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.key_size_bytes
+                                  + self._value_bytes(session.version)))
+        # While a membership change is in flight, also forward the write to
+        # the nodes gaining this key's range (``session_id=None``: forwarded
+        # copies never count towards the quorum), so no acknowledged write
+        # can be lost to an in-progress stream.
+        for replica_name in self.partitioner.pending_replicas_for(key):
+            if replica_name == self.name:
+                continue
+            self.writes_forwarded += 1
+            self.send(replica_name, "write_req",
+                      {"key": key,
+                       "value": session.version.value,
+                       "timestamp": session.version.timestamp,
+                       "session_id": None,
+                       "epoch": self.partitioner.version},
                       size_bytes=(MESSAGE_HEADER_BYTES
                                   + self.config.key_size_bytes
                                   + self._value_bytes(session.version)))
@@ -339,6 +472,18 @@ class CassandraReplica(Node):
                      service_time_ms=self.config.write_service_ms)
 
     def _apply_remote_write(self, coordinator: str, payload: dict) -> None:
+        if self.ring_state == "retired":
+            # This node streamed its data away and left the ring; reject so
+            # the coordinator re-replicates to the post-rebalance owners.
+            self.stale_rejections += 1
+            if payload.get("session_id") is not None:
+                self.send(coordinator, "write_ack",
+                          {"session_id": payload["session_id"],
+                           "replica": self.name,
+                           "stale_epoch": True,
+                           "epoch": self.partitioner.version},
+                          size_bytes=MESSAGE_HEADER_BYTES + 10)
+            return
         version = VersionedValue(payload["value"], tuple(payload["timestamp"]))
         self.table.apply(payload["key"], version)
         if payload.get("session_id") is not None:
@@ -351,8 +496,27 @@ class CassandraReplica(Node):
         session = self._write_sessions.get(payload["session_id"])
         if session is None:
             return
+        if payload.get("stale_epoch"):
+            self._retry_write_after_stale_epoch(session)
+            return
         session.record_ack(payload["replica"])
         self._maybe_finish_write(session)
+
+    def _retry_write_after_stale_epoch(self, session: WriteSession) -> None:
+        """Re-replicate a rejected write to the post-rebalance owners."""
+        self.stale_epoch_retries += 1
+        for replica_name in self._other_replicas_by_distance(session.key):
+            if replica_name in session.acks:
+                continue
+            self.send(replica_name, "write_req",
+                      {"key": session.key,
+                       "value": session.version.value,
+                       "timestamp": session.version.timestamp,
+                       "session_id": session.session_id,
+                       "epoch": self.partitioner.version},
+                      size_bytes=(MESSAGE_HEADER_BYTES
+                                  + self.config.key_size_bytes
+                                  + self._value_bytes(session.version)))
 
     # -- write timeouts (retry / downgrade) ----------------------------------
     def _arm_write_timeout(self, session: WriteSession) -> None:
@@ -416,3 +580,73 @@ class CassandraReplica(Node):
                    "timestamp": session.version.timestamp,
                    "degraded": degraded},
                   size_bytes=MESSAGE_HEADER_BYTES + 10)
+
+    # -- range streaming (ring rebalance) ---------------------------------------
+    def begin_stream(self, task: StreamTask,
+                     on_complete: Callable[[StreamTask], None]) -> int:
+        """Start shipping ``task``'s key range to its target node.
+
+        Stop-and-wait batches of ``config.stream_batch_items`` items: the
+        scan and each batch are charged to this node's processing queue, so
+        streaming competes with foreground traffic for the same server —
+        which is exactly the interference fig15 measures.  ``on_complete``
+        fires (on the source's event) once the final batch is acknowledged.
+        """
+        if task.source != self.name:
+            raise ValueError(
+                f"stream task sourced at {task.source!r} given to {self.name!r}")
+        stream_id = next(self._stream_ids)
+        state = _StreamState(stream_id=stream_id, task=task,
+                             on_complete=on_complete)
+        self._streams[stream_id] = state
+        self.process(self._stream_scan, state,
+                     service_time_ms=self.config.stream_scan_ms)
+        return stream_id
+
+    def _stream_scan(self, state: _StreamState) -> None:
+        state.keys = tuple(key for key in self.table.keys()
+                           if state.task.contains_key(key))
+        self._stream_send_batch(state)
+
+    def _stream_send_batch(self, state: _StreamState) -> None:
+        if state.cursor >= len(state.keys):
+            del self._streams[state.stream_id]
+            state.on_complete(state.task)
+            return
+        batch = state.keys[state.cursor:
+                           state.cursor + self.config.stream_batch_items]
+        state.cursor += len(batch)
+        items = []
+        size = MESSAGE_HEADER_BYTES
+        for key in batch:
+            version = self.table.get(key)
+            if version is None:
+                continue
+            items.append((key, version.value, version.timestamp))
+            size += self.config.key_size_bytes + self._value_bytes(version)
+        self.keys_streamed_out += len(items)
+        self.send(state.task.target, "stream_data",
+                  {"stream_id": state.stream_id, "items": items},
+                  size_bytes=size)
+
+    def on_stream_data(self, message: Message) -> None:
+        payload = message.payload
+        items = payload["items"]
+        self.process(self._apply_stream_batch, message.src, payload,
+                     service_time_ms=(self.config.stream_apply_ms_per_item
+                                      * max(1, len(items))))
+
+    def _apply_stream_batch(self, source: str, payload: dict) -> None:
+        for key, value, timestamp in payload["items"]:
+            # LWW: a streamed snapshot never clobbers a newer forwarded write.
+            self.table.apply(key, VersionedValue(value, tuple(timestamp)))
+        self.keys_streamed_in += len(payload["items"])
+        self.send(source, "stream_ack", {"stream_id": payload["stream_id"]},
+                  size_bytes=MESSAGE_HEADER_BYTES + 10)
+
+    def on_stream_ack(self, message: Message) -> None:
+        state = self._streams.get(message.payload["stream_id"])
+        if state is None:
+            return
+        self.process(self._stream_send_batch, state,
+                     service_time_ms=self.config.stream_batch_ms)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.cassandra_sim.versions import VersionedValue
 
@@ -37,6 +37,23 @@ class LocalTable:
 
     def contains(self, key: str) -> bool:
         return key in self._rows
+
+    def get(self, key: str) -> Optional[VersionedValue]:
+        """Raw access without touching the ``reads`` counter.
+
+        Used by range streaming and post-run verification, which inspect
+        state without modelling a served read.
+        """
+        return self._rows.get(key)
+
+    def keys(self) -> Tuple[str, ...]:
+        """All stored keys, sorted — the deterministic streaming scan order."""
+        return tuple(sorted(self._rows))
+
+    def items(self) -> Iterator[Tuple[str, VersionedValue]]:
+        """Iterate ``(key, version)`` pairs in sorted key order."""
+        for key in sorted(self._rows):
+            yield key, self._rows[key]
 
     def __len__(self) -> int:
         return len(self._rows)

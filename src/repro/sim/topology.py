@@ -141,3 +141,20 @@ def replica_regions_default() -> Tuple[str, str, str]:
 def replica_regions_twissandra() -> Tuple[str, str, str]:
     """Replica placement used for the Twissandra case study."""
     return (Region.VRG, Region.NCA, Region.ORE)
+
+
+def round_robin_regions(count: int,
+                        cycle: Optional[Iterable[str]] = None
+                        ) -> Tuple[str, ...]:
+    """Place ``count`` nodes round-robin over a region cycle.
+
+    The scaling experiments use this to grow the paper's 3-region layout to
+    arbitrarily many nodes: ``count=6`` puts two nodes in each of FRK, IRL
+    and VRG.  ``cycle`` defaults to :func:`replica_regions_default`.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    regions = tuple(cycle) if cycle is not None else replica_regions_default()
+    if not regions:
+        raise ValueError("region cycle must be non-empty")
+    return tuple(regions[i % len(regions)] for i in range(count))

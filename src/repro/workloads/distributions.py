@@ -99,9 +99,10 @@ class ZipfianKeyChooser:
 class ScrambledZipfianKeyChooser:
     """Zipfian popularity spread over the key space by hashing."""
 
-    def __init__(self, record_count: int, rng: random.Random) -> None:
+    def __init__(self, record_count: int, rng: random.Random,
+                 theta: Optional[float] = None) -> None:
         self.record_count = record_count
-        self._zipfian = ZipfianKeyChooser(record_count, rng)
+        self._zipfian = ZipfianKeyChooser(record_count, rng, theta=theta)
 
     def next_index(self) -> int:
         raw = self._zipfian.next_index()
@@ -120,12 +121,13 @@ class LatestKeyChooser:
     of reading a key while its latest write is still propagating.
     """
 
-    def __init__(self, record_count: int, rng: random.Random) -> None:
+    def __init__(self, record_count: int, rng: random.Random,
+                 theta: Optional[float] = None) -> None:
         if record_count <= 0:
             raise ValueError("record_count must be positive")
         self.record_count = record_count
         self._latest = record_count - 1
-        self._zipfian = ZipfianKeyChooser(record_count, rng)
+        self._zipfian = ZipfianKeyChooser(record_count, rng, theta=theta)
 
     def next_index(self) -> int:
         offset = self._zipfian.next_index()
@@ -142,15 +144,21 @@ class LatestKeyChooser:
 
 
 def make_key_chooser(name: str, record_count: int,
-                     rng: random.Random):
-    """Factory mapping YCSB distribution names to generator instances."""
+                     rng: random.Random,
+                     theta: Optional[float] = None):
+    """Factory mapping YCSB distribution names to generator instances.
+
+    ``theta`` dials the Zipf skew for the zipfian-family distributions
+    (``None`` keeps the YCSB constant 0.99); the uniform distribution
+    ignores it.
+    """
     normalized = name.lower()
     if normalized == "uniform":
         return UniformKeyChooser(record_count, rng)
     if normalized == "zipfian":
-        return ZipfianKeyChooser(record_count, rng)
+        return ZipfianKeyChooser(record_count, rng, theta=theta)
     if normalized == "scrambled_zipfian":
-        return ScrambledZipfianKeyChooser(record_count, rng)
+        return ScrambledZipfianKeyChooser(record_count, rng, theta=theta)
     if normalized == "latest":
-        return LatestKeyChooser(record_count, rng)
+        return LatestKeyChooser(record_count, rng, theta=theta)
     raise ValueError(f"unknown request distribution: {name!r}")

@@ -25,19 +25,38 @@ class WorkloadSpec:
     read_proportion: float
     update_proportion: float
     request_distribution: str = "zipfian"
+    #: Zipf skew parameter for the zipfian-family distributions.  ``None``
+    #: keeps the YCSB default (0.99); larger values concentrate traffic on
+    #: fewer keys — the hot-partition regimes of the rebalance experiments.
+    zipf_theta: Optional[float] = None
 
     def __post_init__(self) -> None:
         total = self.read_proportion + self.update_proportion
         if abs(total - 1.0) > 1e-9:
             raise ValueError(
                 f"proportions must sum to 1.0, got {total} for {self.name}")
+        if self.zipf_theta is not None and (
+                not 0.0 < self.zipf_theta < 2.0 or self.zipf_theta == 1.0):
+            # theta = 1 makes the Gray et al. generator's alpha diverge.
+            raise ValueError(
+                f"zipf_theta must be in (0, 2) excluding 1, "
+                f"got {self.zipf_theta}")
 
     def with_distribution(self, distribution: str) -> "WorkloadSpec":
         """The same mix under a different request distribution."""
         return WorkloadSpec(name=self.name,
                             read_proportion=self.read_proportion,
                             update_proportion=self.update_proportion,
-                            request_distribution=distribution)
+                            request_distribution=distribution,
+                            zipf_theta=self.zipf_theta)
+
+    def with_skew(self, theta: Optional[float]) -> "WorkloadSpec":
+        """The same mix with a different Zipf skew (``None`` = YCSB 0.99)."""
+        return WorkloadSpec(name=self.name,
+                            read_proportion=self.read_proportion,
+                            update_proportion=self.update_proportion,
+                            request_distribution=self.request_distribution,
+                            zipf_theta=theta)
 
 
 #: Workload A — update heavy (50:50 read/update), e.g. a session store.
@@ -83,7 +102,8 @@ class OperationGenerator:
         self._rng = mix_rng if mix_rng is not None else rng
         self._chooser = make_key_chooser(
             spec.request_distribution, dataset.record_count,
-            key_rng if key_rng is not None else rng)
+            key_rng if key_rng is not None else rng,
+            theta=spec.zipf_theta)
         self.reads_generated = 0
         self.updates_generated = 0
 

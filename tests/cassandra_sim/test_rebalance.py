@@ -1,0 +1,284 @@
+"""Live ring-rebalance tests: join/decommission/remove under traffic.
+
+These exercise the full orchestration path — bootstrap → stream → announce →
+serve — through the simulated scheduler, including the safety properties the
+protocol promises: no acknowledged write is ever lost across an ownership
+change, stale-epoch requests are retried against the fresh preference list,
+and retired coordinators hand their clients over to a fallback contact.
+"""
+
+import pytest
+
+from repro.cassandra_sim.cluster import CassandraCluster
+from repro.cassandra_sim.config import CassandraConfig
+from repro.cassandra_sim.versions import resolve
+from repro.sim.environment import SimEnvironment
+from repro.sim.topology import Region, Topology
+
+
+def _env(seed=9):
+    return SimEnvironment(seed=seed, topology=Topology(jitter_fraction=0.0))
+
+
+def six_node_cluster(env, records=60, **config_kwargs):
+    """A 6-node, RF=3 cluster (two nodes per region) with preloaded data."""
+    regions = (Region.FRK, Region.IRL, Region.VRG)
+    nodes = [(f"cassandra-{i}-{regions[i % 3]}", regions[i % 3])
+             for i in range(6)]
+    cluster = CassandraCluster(env, CassandraConfig(**config_kwargs),
+                               nodes=nodes)
+    cluster.preload({f"key{i}": f"value{i}" for i in range(records)})
+    return cluster
+
+
+def newest_at_owners(cluster, key):
+    """Resolve ``key`` across its current owners' local tables."""
+    return resolve([cluster.replica_by_name(name).table.get(key)
+                    for name in cluster.partitioner.replicas_for(key)])
+
+
+class TestJoin:
+    def test_join_completes_and_serves(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        operation = cluster.join_node("cassandra-6-" + Region.FRK, Region.FRK)
+        env.run_until_idle()
+        assert operation.done
+        assert cluster.partitioner.version == 1
+        joiner = cluster.replica_by_name("cassandra-6-" + Region.FRK)
+        assert joiner.ring_state == "serving"
+        assert joiner in cluster.replicas
+
+    def test_joiner_holds_every_key_it_now_owns(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        name = "cassandra-6-" + Region.FRK
+        cluster.join_node(name, Region.FRK)
+        env.run_until_idle()
+        joiner = cluster.replica_by_name(name)
+        owned = [f"key{i}" for i in range(60)
+                 if cluster.partitioner.is_replica(name, f"key{i}")]
+        assert owned  # 8 vnodes on a 7-node ring: the joiner owns something
+        for key in owned:
+            version = joiner.table.get(key)
+            assert version is not None, key
+            assert version.value == key.replace("key", "value")
+
+    def test_join_streams_only_gained_ranges(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        operation = cluster.join_node("cassandra-6-" + Region.FRK, Region.FRK)
+        env.run_until_idle()
+        streamed = cluster.total_keys_streamed()
+        joiner_rows = len(cluster.replica_by_name(
+            "cassandra-6-" + Region.FRK).table)
+        assert streamed == joiner_rows  # nothing beyond the plan moved
+        assert operation.change.total_ranges() > 0
+
+    def test_scheduled_join_starts_at_requested_time(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        operation = cluster.join_node("cassandra-6-" + Region.FRK, Region.FRK,
+                                      at_ms=500.0)
+        env.run_until_idle()
+        assert operation.started_at == 500.0
+        assert operation.completed_at > 500.0
+
+    def test_bootstrapping_node_rejects_client_ops(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        name = "cassandra-6-" + Region.FRK
+        # Freeze the operation mid-bootstrap: plan+begin but stream slowly.
+        cluster.config.stream_scan_ms = 10_000.0
+        cluster.join_node(name, Region.FRK)
+        env.run(until=50.0)
+        joiner = cluster.replica_by_name(name)
+        assert joiner.ring_state == "bootstrapping"
+        client = cluster.add_client("c", Region.FRK, contact_region=Region.FRK)
+        client.contact = name          # force the bootstrapping contact
+        client._contacts = [name]      # (and the dispatch rotation)
+        results = []
+        client.read("key1", r=1, on_final=results.append)
+        env.run(until=100.0)
+        assert results and "error" in results[0]
+
+
+class TestDecommission:
+    def test_decommission_retires_node(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        leaving = cluster.replicas[5].name
+        operation = cluster.decommission_node(leaving)
+        env.run_until_idle()
+        assert operation.done
+        replica = cluster.replica_by_name(leaving)
+        assert replica.ring_state == "retired"
+        assert replica not in cluster.replicas
+        assert not cluster.partitioner.contains(leaving)
+        assert all(name != leaving
+                   for key in (f"key{i}" for i in range(60))
+                   for name in cluster.partitioner.replicas_for(key))
+
+    def test_every_key_still_resolvable_after_decommission(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        cluster.decommission_node(cluster.replicas[5].name)
+        env.run_until_idle()
+        for i in range(60):
+            version = newest_at_owners(cluster, f"key{i}")
+            assert version is not None and version.value == f"value{i}"
+
+    def test_forced_remove_rereplicates_from_survivors(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        dead = cluster.replicas[4]
+        dead.crash()
+        operation = cluster.remove_node(dead.name)
+        env.run_until_idle()
+        assert operation.done
+        assert not cluster.partitioner.contains(dead.name)
+        for i in range(60):
+            version = newest_at_owners(cluster, f"key{i}")
+            assert version is not None and version.value == f"value{i}"
+
+    def test_removal_below_rf_rejected(self):
+        env = _env()
+        cluster = CassandraCluster(env, CassandraConfig())
+        with pytest.raises(ValueError):
+            cluster.decommission_node(cluster.replicas[0].name)
+
+
+class TestSafetyUnderTraffic:
+    def drive(self, cluster, env, event, writes=150, until=4_000.0):
+        """Interleave writes with ``event`` at t=300; return acked stamps."""
+        client = cluster.add_client(
+            "c", Region.IRL, contact_region=Region.FRK,
+            fallbacks=True)
+        acked = {}
+
+        def write_one(i):
+            key = f"key{i % 60}"
+
+            def on_ack(resp, key=key):
+                if "error" not in resp and resp.get("timestamp"):
+                    previous = acked.get(key)
+                    if previous is None or resp["timestamp"] > previous:
+                        acked[key] = resp["timestamp"]
+
+            client.write(key, f"new-{i}", w=1, on_final=on_ack)
+
+        for i in range(writes):
+            env.scheduler.schedule_call_at(5.0 * i, write_one, (i,))
+        event()
+        env.run(until=until)
+        env.run_until_idle()
+        return acked
+
+    def test_zero_lost_acked_writes_across_join(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        acked = self.drive(
+            cluster, env,
+            lambda: cluster.join_node("cassandra-6-" + Region.FRK,
+                                      Region.FRK, at_ms=300.0))
+        assert acked
+        for key, timestamp in acked.items():
+            version = newest_at_owners(cluster, key)
+            assert version is not None and version.timestamp >= timestamp, key
+
+    def test_zero_lost_acked_writes_across_decommission(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        leaving = cluster.replicas[5].name
+        acked = self.drive(
+            cluster, env,
+            lambda: cluster.decommission_node(leaving, at_ms=300.0))
+        assert acked
+        for key, timestamp in acked.items():
+            version = newest_at_owners(cluster, key)
+            assert version is not None and version.timestamp >= timestamp, key
+
+    def test_stale_epoch_reads_are_retried_not_failed(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        client = cluster.add_client("c", Region.IRL,
+                                    contact_region=Region.FRK, fallbacks=True)
+        results = []
+
+        def read_one(i):
+            client.read(f"key{i % 60}", r=2, icg=True,
+                        on_final=results.append)
+
+        for i in range(120):
+            env.scheduler.schedule_call_at(5.0 * i, read_one, (i,))
+        cluster.decommission_node(cluster.replicas[5].name, at_ms=250.0)
+        env.run_until_idle()
+        assert len(results) == 120
+        assert all("error" not in resp for resp in results)
+        for resp in results:
+            assert resp["value"].startswith("value")
+
+    def test_client_fails_over_from_retired_coordinator(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        leaving = cluster.replicas[0]  # the FRK contact replica
+        client = cluster.add_client("c", Region.IRL,
+                                    contact_region=Region.FRK, fallbacks=True)
+        assert client.contact == leaving.name
+        cluster.decommission_node(leaving.name)
+        env.run_until_idle()
+        results = []
+        client.read("key1", r=2, on_final=results.append)
+        env.run_until_idle()
+        assert results[0].get("value") == "value1"
+        assert "error" not in results[0]
+        assert client.retries >= 1
+
+    def test_writes_forwarded_to_pending_owners(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        cluster.config.stream_scan_ms = 200.0  # stretch the bootstrap window
+        client = cluster.add_client("c", Region.IRL,
+                                    contact_region=Region.FRK)
+        cluster.join_node("cassandra-6-" + Region.FRK, Region.FRK)
+        for i in range(60):
+            env.scheduler.schedule_call_at(
+                10.0 + i, client.write, (f"key{i}", f"fresh-{i}", 1))
+        env.run_until_idle()
+        assert cluster.total_writes_forwarded() > 0
+        # Every key the joiner now owns reflects the newest write.
+        name = "cassandra-6-" + Region.FRK
+        joiner = cluster.replica_by_name(name)
+        for i in range(60):
+            if cluster.partitioner.is_replica(name, f"key{i}"):
+                assert joiner.table.get(f"key{i}").value == f"fresh-{i}"
+
+
+class TestClusterSurface:
+    def test_rebalance_objects_recorded(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        cluster.join_node("cassandra-6-" + Region.FRK, Region.FRK)
+        env.run_until_idle()
+        assert len(cluster.rebalances) == 1
+        assert cluster.rebalances[0].done
+        assert cluster.rebalances[0].duration_ms() > 0
+
+    def test_sequential_rebalances_compose(self):
+        env = _env()
+        cluster = six_node_cluster(env)
+        name = "cassandra-6-" + Region.FRK
+        cluster.join_node(name, Region.FRK, at_ms=10.0)
+        cluster.decommission_node(name, at_ms=2_000.0)
+        env.run_until_idle()
+        assert cluster.partitioner.version == 2
+        assert not cluster.partitioner.contains(name)
+        for i in range(60):
+            version = newest_at_owners(cluster, f"key{i}")
+            assert version is not None and version.value == f"value{i}"
+
+    def test_explicit_nodes_constructor_validates_rf(self):
+        env = _env()
+        with pytest.raises(ValueError):
+            CassandraCluster(env, CassandraConfig(),
+                             nodes=[("a", Region.FRK), ("b", Region.IRL)])

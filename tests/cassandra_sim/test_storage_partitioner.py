@@ -1,9 +1,15 @@
 """Tests for the LWW storage engine, versions, and the ring partitioner."""
 
+import hashlib
+
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cassandra_sim.partitioner import RingPartitioner
+from repro.cassandra_sim.partitioner import (
+    RingPartitioner,
+    node_tokens,
+    token_in_range,
+)
 from repro.cassandra_sim.storage import LocalTable
 from repro.cassandra_sim.versions import VersionedValue, resolve
 
@@ -147,3 +153,212 @@ class TestPartitioner:
         partitioner = RingPartitioner(["a", "b", "c", "d"], 3)
         replicas = partitioner.replicas_for(key)
         assert len(replicas) == len(set(replicas)) == 3
+
+    def test_preference_list_is_immutable(self):
+        """The cached entry is a tuple: callers cannot corrupt the cache."""
+        partitioner = RingPartitioner(["a", "b", "c", "d"], 2)
+        replicas = partitioner.replicas_for("k")
+        assert isinstance(replicas, tuple)
+        with pytest.raises(TypeError):
+            replicas[0] = "evil"
+        assert partitioner.replicas_for("k") == replicas
+
+    def test_vnodes_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RingPartitioner(["a"], 1, vnodes_per_node=0)
+
+    def test_token_in_range_wraps(self):
+        assert token_in_range(5, 3, 10)
+        assert not token_in_range(10, 3, 10)  # half-open
+        assert token_in_range(1, 2**63, 10)   # wrapping range
+        assert token_in_range(2**63, 2**63, 10)
+
+
+KEYS = [f"user{i}" for i in range(300)]
+
+
+def ring_fingerprint(partitioner):
+    digest = hashlib.sha256()
+    for token, node in partitioner.token_layout():
+        digest.update(f"{token}:{node}\n".encode())
+    return digest.hexdigest()
+
+
+class TestRingEdits:
+    def make(self, n=5, rf=3, vnodes=8):
+        return RingPartitioner([f"n{i}" for i in range(n)], rf,
+                               vnodes_per_node=vnodes)
+
+    def test_add_node_bumps_version_and_layout(self):
+        partitioner = self.make()
+        before = partitioner.token_layout()
+        change = partitioner.add_node("n5")
+        assert partitioner.version == 1
+        assert partitioner.contains("n5")
+        assert "n5" in partitioner.node_names
+        after = partitioner.token_layout()
+        assert set(after) == set(before) | {
+            (token, "n5") for token in node_tokens("n5", 8)}
+        assert change.kind == "join" and change.node == "n5"
+
+    def test_layout_independent_of_join_order(self):
+        """The determinism contract: membership set ⇒ layout, not history."""
+        a = RingPartitioner(["n0", "n1", "n2"], 2)
+        a.add_node("n3")
+        a.add_node("n4")
+        b = RingPartitioner(["n4", "n2", "n0"], 2)
+        b.add_node("n1")
+        b.add_node("n3")
+        assert a.token_layout() == b.token_layout()
+        for key in KEYS:
+            assert a.replicas_for(key) == b.replicas_for(key)
+
+    def test_same_edit_schedule_same_plans(self):
+        """Same schedule ⇒ identical layouts and streaming plans."""
+        runs = []
+        for _ in range(2):
+            partitioner = self.make()
+            plans = [partitioner.add_node("n5"),
+                     partitioner.decommission("n1"),
+                     partitioner.remove_node("n3")]
+            runs.append((partitioner.token_layout(),
+                         tuple(p.tasks for p in plans)))
+        assert runs[0] == runs[1]
+
+    def test_ring_golden_fingerprint(self):
+        """Committed layout hash: any change to the token function, the
+        vnode naming scheme, or the sort order shows up here."""
+        partitioner = self.make(n=4, rf=2, vnodes=4)
+        partitioner.add_node("n4", vnodes=2)
+        partitioner.decommission("n0")
+        assert ring_fingerprint(partitioner) == (
+            "21320a591856505fa6434308a5dd9a0ec69a867999c4036419f7aa2f20f5d40b")
+
+    def test_join_streams_exactly_the_gained_ranges(self):
+        partitioner = self.make()
+        change = partitioner.plan_join("n5")
+        partitioner.begin(change)
+        partitioner.commit(change)
+        for key in KEYS:
+            owners = partitioner.replicas_for(key)
+            if "n5" not in owners:
+                continue
+            matching = [task for task in change.tasks
+                        if task.target == "n5" and task.contains_key(key)]
+            assert len(matching) == 1, key
+
+    def test_no_task_targets_an_existing_owner(self):
+        partitioner = self.make()
+        change = partitioner.plan_join("n5")
+        for task in change.tasks:
+            # The target must not already own the range's keys.
+            for key in KEYS:
+                if not task.contains_key(key):
+                    continue
+                assert task.target not in partitioner.replicas_for(key)
+
+    def test_decommission_sources_from_leaving_node(self):
+        partitioner = self.make()
+        change = partitioner.plan_decommission("n2")
+        assert change.tasks  # n2 owned something
+        assert all(task.source == "n2" for task in change.tasks)
+
+    def test_remove_sources_from_survivors(self):
+        partitioner = self.make()
+        change = partitioner.plan_remove("n2")
+        assert change.tasks
+        assert all(task.source != "n2" for task in change.tasks)
+
+    def test_pending_replicas_exposed_between_begin_and_commit(self):
+        partitioner = self.make()
+        change = partitioner.plan_join("n5")
+        assert partitioner.pending_replicas_for(KEYS[0]) == ()
+        partitioner.begin(change)
+        gaining = [key for key in KEYS
+                   if partitioner.pending_replicas_for(key) == ("n5",)]
+        assert gaining  # some keys move to the joiner
+        for key in gaining:
+            assert "n5" not in partitioner.replicas_for(key)  # not yet serving
+        partitioner.commit(change)
+        for key in gaining:
+            assert "n5" in partitioner.replicas_for(key)
+        assert partitioner.pending_replicas_for(KEYS[0]) == ()
+
+    def test_abort_leaves_ring_untouched(self):
+        partitioner = self.make()
+        before = partitioner.token_layout()
+        change = partitioner.plan_join("n5")
+        partitioner.begin(change)
+        partitioner.abort(change)
+        assert partitioner.token_layout() == before
+        assert partitioner.version == 0
+        assert not partitioner.contains("n5")
+
+    def test_stale_plan_rejected(self):
+        partitioner = self.make()
+        stale = partitioner.plan_join("n5")
+        partitioner.add_node("n6")
+        with pytest.raises(ValueError):
+            partitioner.begin(stale)
+
+    def test_concurrent_changes_rejected(self):
+        partitioner = self.make()
+        partitioner.begin(partitioner.plan_join("n5"))
+        with pytest.raises(RuntimeError):
+            partitioner.plan_join("n6")
+
+    def test_removal_below_rf_rejected(self):
+        partitioner = RingPartitioner(["a", "b", "c"], 3)
+        with pytest.raises(ValueError):
+            partitioner.plan_decommission("a")
+
+    def test_duplicate_join_rejected(self):
+        partitioner = self.make()
+        with pytest.raises(ValueError):
+            partitioner.plan_join("n0")
+
+    def test_remove_unknown_node_rejected(self):
+        partitioner = self.make()
+        with pytest.raises(ValueError):
+            partitioner.plan_remove("ghost")
+
+    def test_cache_invalidated_by_commit(self):
+        partitioner = RingPartitioner([f"n{i}" for i in range(6)], 2,
+                                      vnodes_per_node=16)
+        before = {key: partitioner.replicas_for(key) for key in KEYS}
+        partitioner.decommission("n4")
+        moved = 0
+        for key in KEYS:
+            owners = partitioner.replicas_for(key)
+            assert "n4" not in owners
+            assert len(owners) == len(set(owners)) == 2
+            if owners != before[key]:
+                moved += 1
+        assert moved > 0
+
+
+@given(st.lists(st.sampled_from(["join", "decommission", "remove"]),
+                min_size=1, max_size=6),
+       st.integers(min_value=0, max_value=10_000))
+def test_every_key_keeps_exactly_rf_replicas_across_any_edit_sequence(
+        kinds, key_salt):
+    """The RF invariant: any legal rebalance schedule preserves, for every
+    key, a preference list of exactly ``replication_factor`` distinct live
+    nodes (and never a node that has left the ring)."""
+    partitioner = RingPartitioner([f"seed{i}" for i in range(4)], 3,
+                                  vnodes_per_node=4)
+    keys = [f"k{key_salt}-{i}" for i in range(40)]
+    next_id = 0
+    for kind in kinds:
+        if kind == "join" or len(partitioner.node_names) - 1 < 3:
+            partitioner.add_node(f"added{next_id}")
+            next_id += 1
+        elif kind == "decommission":
+            partitioner.decommission(sorted(partitioner.node_names)[0])
+        else:
+            partitioner.remove_node(sorted(partitioner.node_names)[-1])
+        live = set(partitioner.node_names)
+        for key in keys:
+            owners = partitioner.replicas_for(key)
+            assert len(owners) == len(set(owners)) == 3
+            assert set(owners) <= live
