@@ -24,6 +24,7 @@ from repro.bench.fig13_faults import (
 )
 from repro.bench.fig14_open_loop import run_fig14, format_fig14
 from repro.bench.fig15_rebalance import run_fig15, format_fig15
+from repro.bench.fig16_txn import run_fig16, format_fig16
 
 __all__ = [
     "ablations",
@@ -41,4 +42,5 @@ __all__ = [
     "run_fig13", "run_fig13_all", "run_fig13_zookeeper", "format_fig13",
     "run_fig14", "format_fig14",
     "run_fig15", "format_fig15",
+    "run_fig16", "format_fig16",
 ]

@@ -35,9 +35,9 @@ from repro.bench.sweep import JobsSpec, resolve_jobs
 from repro.bench import (
     format_fig05, format_fig06, format_fig07, format_fig08, format_fig09,
     format_fig10, format_fig11, format_fig12, format_fig13, format_fig14,
-    format_fig15,
+    format_fig15, format_fig16,
     run_fig05, run_fig06, run_fig07, run_fig08, run_fig09, run_fig10,
-    run_fig11, run_fig12, run_fig13_all, run_fig14, run_fig15,
+    run_fig11, run_fig12, run_fig13_all, run_fig14, run_fig15, run_fig16,
 )
 
 #: figure name -> (runner, formatter, full-scale kwargs, quick kwargs).
@@ -89,6 +89,13 @@ _FIGURES: Dict[str, tuple] = {
                    rate_ops_s=200.0, sessions=100, duration_ms=5_000.0,
                    warmup_ms=800.0, cooldown_ms=400.0, event_at_ms=2_000.0,
                    record_count=300)),
+    "fig16": (run_fig16, format_fig16,
+              dict(),
+              dict(scenarios=("baseline", "coordinator-crash-mid-commit",
+                              "participant-crash-after-prepare"),
+                   txn_sizes=(2,), nodes=3, rate_txn_s=25.0,
+                   duration_ms=6_000.0, fault_at_ms=2_500.0,
+                   fault_duration_ms=2_500.0, record_count=120)),
 }
 
 

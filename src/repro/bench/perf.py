@@ -200,6 +200,35 @@ def run_open_loop_scenario(binding: str = "cassandra",
     }
 
 
+def run_txn_scenario(scenario_name: str = "coordinator-crash-mid-commit",
+                     keys_per_txn: int = 2, nodes: int = 6,
+                     coordinators: int = 2, rate_txn_s: float = 40.0,
+                     duration_ms: float = 10_000.0,
+                     fault_at_ms: float = 4_000.0,
+                     fault_duration_ms: float = 4_000.0,
+                     decision_log_ms: float = 2.0,
+                     record_count: int = 200,
+                     seed: int = 42) -> Dict[str, int]:
+    """fig16-style 2PC transactions driven through a coordinator takeover.
+
+    Exercises the transaction layer's hot paths end to end — prepare
+    fan-out and vote collection, participant logging and locking, the
+    heartbeat/election machinery, takeover log reconstruction, decision
+    redelivery, and the client's balancer/backoff retries — and runs the
+    atomicity audit before returning (a violation fails the scenario).
+    """
+    from repro.bench.fig16_txn import run_fig16_cell
+
+    record, env = run_fig16_cell(
+        scenario=scenario_name, keys_per_txn=keys_per_txn, nodes=nodes,
+        coordinators=coordinators, rate_txn_s=rate_txn_s,
+        duration_ms=duration_ms, fault_at_ms=fault_at_ms,
+        fault_duration_ms=fault_duration_ms, decision_log_ms=decision_log_ms,
+        record_count=record_count, seed=seed)
+    return {"events": env.scheduler.events_executed,
+            "ops": record["submitted"]}
+
+
 def _sweep_point(point: SweepPoint) -> Dict[str, int]:
     """One fig06-style grid cell: a full closed-loop sim, counted."""
     return run_closed_loop_scenario(**point.kwargs)
@@ -291,6 +320,15 @@ PERF_SCENARIOS: Dict[str, tuple] = {
              warmup_ms=3_000.0, cooldown_ms=1_000.0, record_count=500),
         dict(rate_ops_s=400.0, sessions=200, duration_ms=8_000.0,
              warmup_ms=1_500.0, cooldown_ms=500.0, record_count=200),
+    ),
+    "fig16-txn": (
+        run_txn_scenario,
+        dict(keys_per_txn=3, nodes=6, rate_txn_s=80.0,
+             duration_ms=20_000.0, fault_at_ms=6_000.0,
+             fault_duration_ms=6_000.0, record_count=300),
+        dict(keys_per_txn=2, nodes=3, rate_txn_s=40.0,
+             duration_ms=8_000.0, fault_at_ms=3_000.0,
+             fault_duration_ms=3_000.0, record_count=150),
     ),
     # The serial/parallel pair measures the sweep engine itself: identical
     # grids, identical event totals, only the job count differs — their

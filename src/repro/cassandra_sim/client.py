@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cassandra_sim.config import CassandraConfig
+from repro.core.retry import RetryPolicy
 from repro.sim.failover import FailoverMixin
 from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
 from repro.sim.node import Node
@@ -119,6 +120,19 @@ class CassandraClient(FailoverMixin, Node):
     def _failover_retries(self) -> int:
         return self.config.client_retries
 
+    def _retry_policy(self) -> RetryPolicy:
+        policy = self._failover_policy
+        if policy is None:
+            policy = RetryPolicy(
+                max_retries=self.config.client_retries,
+                base_delay_ms=self.config.client_backoff_base_ms,
+                multiplier=self.config.client_backoff_multiplier,
+                cap_ms=self.config.client_backoff_cap_ms,
+                jitter_ms=self.config.client_backoff_jitter_ms,
+                label=f"failover:{self.name}")
+            self._failover_policy = policy
+        return policy
+
     def _timeout_failure_response(self, pending: _PendingRequest) -> Dict[str, Any]:
         return {
             "value": None,
@@ -185,7 +199,7 @@ class CassandraClient(FailoverMixin, Node):
         # rotate to the next contact instead of failing the request (the
         # rebalance analogue of timeout-driven failover).
         if payload.get("retryable") and len(self._contacts) > 1 \
-                and pending.attempts < self._failover_retries():
+                and self._retry_policy().should_retry(pending.attempts):
             pending.attempts += 1
             pending.rotation_index += 1
             self.retries += 1

@@ -61,6 +61,15 @@ class CassandraConfig:
     client_timeout_ms: float = 0.0
     #: How many times the client re-issues a timed-out request.
     client_retries: int = 2
+    #: Backoff before a client re-issue (ms); 0 keeps the historical
+    #: immediate-retry behaviour (and adds no scheduler events).  Positive
+    #: values grow exponentially per attempt via the shared
+    #: :class:`~repro.core.retry.RetryPolicy` (capped, with deterministic
+    #: seeded jitter from ``client_backoff_jitter_ms``).
+    client_backoff_base_ms: float = 0.0
+    client_backoff_multiplier: float = 2.0
+    client_backoff_cap_ms: float = 1_000.0
+    client_backoff_jitter_ms: float = 0.0
     #: Range streaming (ring rebalancing): items shipped per stream batch.
     #: Batches are stop-and-wait (next batch leaves when the previous one is
     #: acknowledged), so smaller batches stretch a rebalance over more time.

@@ -13,8 +13,9 @@ into scripted, repeatable experiments:
   it on the simulation clock (or applies faults imperatively);
 * :mod:`repro.faults.scenarios` — a library of named scenarios
   (``replica-crash``, ``wan-partition``, ``flapping-link``,
-  ``slow-follower``, ``degraded-link``, ``leader-crash``) used by the
-  Figure 13 fault benchmarks.
+  ``slow-follower``, ``degraded-link``, ``leader-crash``,
+  ``coordinator-crash-mid-commit``, ``participant-crash-after-prepare``)
+  used by the Figure 13 and Figure 16 fault benchmarks.
 """
 
 from repro.faults.injector import AppliedFault, FaultInjector
@@ -27,7 +28,9 @@ from repro.faults.schedule import (
 from repro.faults.scenarios import (
     SCENARIOS,
     cassandra_aliases,
+    coordinator_crash_mid_commit,
     get_scenario,
+    participant_crash_after_prepare,
     scenario_names,
     zookeeper_aliases,
 )
@@ -41,7 +44,9 @@ __all__ = [
     "Scenario",
     "SCENARIOS",
     "cassandra_aliases",
+    "coordinator_crash_mid_commit",
     "get_scenario",
+    "participant_crash_after_prepare",
     "scenario_names",
     "zookeeper_aliases",
 ]

@@ -142,6 +142,47 @@ def leader_crash(at_ms: float = 4_000.0,
         schedule=schedule)
 
 
+def coordinator_crash_mid_commit(at_ms: float = 4_000.0,
+                                 duration_ms: float = 5_000.0,
+                                 target: str = "txn-coordinator:0") -> Scenario:
+    """The active transaction coordinator crashes while commits are in flight.
+
+    Transactions that were prepared (or partially committed) when the crash
+    hits are left in doubt; a standby must detect the silence, take over
+    with a higher epoch, read the participant logs, and drive every
+    in-flight transaction to a consistent outcome — the invariants the
+    fig16 cells assert (no partial commits, no lost acked commits) live or
+    die on this window.
+    """
+    schedule = (FaultScheduleBuilder()
+                .crash_window(target, at_ms, duration_ms)
+                .build())
+    return Scenario(
+        name="coordinator-crash-mid-commit",
+        description=(f"{target} crashes at {at_ms:.0f} ms mid-commit and "
+                     f"restarts {duration_ms:.0f} ms later"),
+        schedule=schedule)
+
+
+def participant_crash_after_prepare(at_ms: float = 4_000.0,
+                                    duration_ms: float = 3_000.0,
+                                    target: str = "txn-participant:0") -> Scenario:
+    """One transaction participant crashes between prepare and decision.
+
+    Its prepared transactions block (the coordinator cannot presume abort
+    while a silent participant might hold a commit record) and its locks
+    survive in the log; on restart, decision redelivery resolves them.
+    """
+    schedule = (FaultScheduleBuilder()
+                .crash_window(target, at_ms, duration_ms)
+                .build())
+    return Scenario(
+        name="participant-crash-after-prepare",
+        description=(f"{target} crashes at {at_ms:.0f} ms holding prepared "
+                     f"transactions and restarts {duration_ms:.0f} ms later"),
+        schedule=schedule)
+
+
 #: Scenario name → zero-argument factory with benchmark-friendly defaults.
 SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "replica-crash": replica_crash,
@@ -150,6 +191,8 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "slow-follower": slow_follower,
     "degraded-link": degraded_link,
     "leader-crash": leader_crash,
+    "coordinator-crash-mid-commit": coordinator_crash_mid_commit,
+    "participant-crash-after-prepare": participant_crash_after_prepare,
 }
 
 

@@ -5,11 +5,20 @@ endpoint the same way: a per-request timeout fires, the request is re-sent
 to the next endpoint in a rotation, and after a bounded number of re-sends
 the caller gets a terminal error.  This mixin holds that machinery once so
 the two stacks cannot drift apart.
+
+Retry budgets and backoff come from a shared
+:class:`~repro.core.retry.RetryPolicy`: hosts provide one via
+:meth:`FailoverMixin._retry_policy` (the default wraps the historical
+``_failover_retries()`` count in an immediate-retry policy).  A zero
+backoff re-sends synchronously — no extra scheduler event — so the default
+configuration reproduces the historical event traces byte for byte.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict
+
+from repro.core.retry import RetryPolicy
 
 
 class FailoverMixin:
@@ -24,10 +33,27 @@ class FailoverMixin:
       ``self.failed_requests`` counters;
     * :meth:`_redispatch` — re-send the request to the next endpoint (and
       re-arm the timeout via :meth:`_arm_request_timeout`);
-    * :meth:`_failover_retries` — how many re-sends before giving up;
+    * :meth:`_failover_retries` — how many re-sends before giving up (used
+      by the default :meth:`_retry_policy`);
     * :meth:`_timeout_failure_response` — the error payload delivered to
       ``on_final`` when retries are exhausted.
     """
+
+    #: Lazily-built policy cache (per instance; invalidated never — configs
+    #: are immutable for the lifetime of a client).
+    _failover_policy: Any = None
+
+    def _retry_policy(self) -> RetryPolicy:
+        """The policy governing this client's request failover.
+
+        Hosts with backoff knobs override this; the default reproduces the
+        historical behaviour (bounded immediate retries).
+        """
+        policy = self._failover_policy
+        if policy is None:
+            policy = RetryPolicy.immediate(self._failover_retries())
+            self._failover_policy = policy
+        return policy
 
     def _arm_request_timeout(self, pending: Any, req_id: int,
                              timeout_ms: float) -> None:
@@ -40,16 +66,30 @@ class FailoverMixin:
         if pending is None:
             return
         pending.timeout_event = None
-        if pending.attempts < self._failover_retries():
+        policy = self._retry_policy()
+        if policy.should_retry(pending.attempts):
             pending.attempts += 1
             pending.rotation_index += 1
             self.retries += 1
-            self._redispatch(pending)
+            self._retry_after_backoff(pending, policy)
             return
         self.failed_requests += 1
         del self._pending[req_id]
         if pending.on_final is not None:
             pending.on_final(self._timeout_failure_response(pending))
+
+    def _retry_after_backoff(self, pending: Any, policy: RetryPolicy) -> None:
+        """Re-send now (zero backoff) or after the policy's delay.
+
+        The zero-delay path calls :meth:`_redispatch` synchronously rather
+        than scheduling a 0 ms event — scheduling would reorder the event
+        trace relative to the pre-policy implementation.
+        """
+        delay_ms = policy.backoff_ms(pending.attempts)
+        if delay_ms <= 0:
+            self._redispatch(pending)
+            return
+        self.scheduler.schedule(delay_ms, self._redispatch, pending)
 
     @staticmethod
     def _settle(pending: Any) -> None:

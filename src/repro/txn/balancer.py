@@ -1,0 +1,88 @@
+"""Health-aware routing of transaction traffic to the coordinator group.
+
+The :class:`LoadBalancer` composes one
+:class:`~repro.core.retry.CircuitBreaker` per coordinator: timeouts and
+fault signals count toward opening a node's breaker (marking it degraded),
+an open breaker routes traffic elsewhere, and after the reset window a
+single probe request is admitted — success marks the node recovered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.retry import BreakerState, CircuitBreaker
+
+
+class LoadBalancer:
+    """Round-robin over healthy nodes, with circuit-breaker health tracking."""
+
+    def __init__(self, nodes: Sequence[str], failure_threshold: int = 2,
+                 reset_timeout_ms: float = 800.0) -> None:
+        if not nodes:
+            raise ValueError("a load balancer needs at least one node")
+        self.nodes: List[str] = list(nodes)
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(failure_threshold=failure_threshold,
+                                 reset_timeout_ms=reset_timeout_ms)
+            for name in self.nodes}
+        self._rr = 0
+        # Instrumentation.
+        self.picks = 0
+        self.skipped_unhealthy = 0
+        self.fail_open_picks = 0
+
+    def pick(self, now_ms: float, preferred: Optional[str] = None,
+             avoid: Optional[str] = None) -> str:
+        """Choose the next node to route to.
+
+        ``preferred`` (e.g. a redirect hint naming the active coordinator)
+        wins if its breaker admits traffic; otherwise round-robin over nodes
+        whose breakers allow a request, skipping ``avoid`` (the node that
+        just failed) when any alternative exists.  If every breaker refuses,
+        fail open: routing nowhere is strictly worse than probing a node
+        that might have recovered.
+        """
+        self.picks += 1
+        if preferred is not None and preferred in self.breakers \
+                and self.breakers[preferred].allow(now_ms):
+            return preferred
+        count = len(self.nodes)
+        for offset in range(count):
+            name = self.nodes[(self._rr + offset) % count]
+            if name == avoid and count > 1:
+                continue
+            if self.breakers[name].allow(now_ms):
+                self._rr = (self._rr + offset + 1) % count
+                return name
+            self.skipped_unhealthy += 1
+        self.fail_open_picks += 1
+        name = self.nodes[self._rr % count]
+        self._rr = (self._rr + 1) % count
+        return name
+
+    def record_failure(self, name: str, now_ms: float) -> None:
+        """A request to ``name`` timed out or errored."""
+        breaker = self.breakers.get(name)
+        if breaker is not None:
+            breaker.record_failure(now_ms)
+
+    def record_success(self, name: str) -> None:
+        """A request to ``name`` completed; closes its breaker if open."""
+        breaker = self.breakers.get(name)
+        if breaker is not None:
+            breaker.record_success()
+
+    # -- health reporting ---------------------------------------------------
+    def health(self) -> Dict[str, str]:
+        return {name: breaker.state for name, breaker in self.breakers.items()}
+
+    def degraded_nodes(self) -> List[str]:
+        return [name for name, breaker in self.breakers.items()
+                if breaker.state != BreakerState.CLOSED]
+
+    def times_opened(self) -> int:
+        return sum(b.times_opened for b in self.breakers.values())
+
+    def probes_succeeded(self) -> int:
+        return sum(b.probes_succeeded for b in self.breakers.values())

@@ -1,0 +1,540 @@
+"""Two-phase commit coordinator with deterministic election and failover.
+
+A coordinator group is an ordered list of :class:`TwoPhaseCommitCoordinator`
+nodes.  The first starts *active*; the rest are standbys that watch its
+heartbeats.  When the active coordinator goes silent, standbys take over in
+list order (standby rank ``r`` waits ``(1 + r)`` detection timeouts, so the
+first surviving standby always wins and the election is deterministic).
+
+A successor recovers by *fencing then reading*: it bumps the group epoch,
+probes every participant with ``txn_takeover`` (which both installs the new
+epoch — rejecting any in-flight old-epoch traffic — and returns the
+participant's log), and drives every in-flight transaction to a consistent
+outcome:
+
+* any participant holds a **commit** record → the transaction was decided
+  (and possibly acked to the client); re-drive the commit with the original
+  timestamp to every participant;
+* a transaction only **prepared** everywhere it is known → abort, but only
+  after *every* participant of that transaction has answered a probe (the
+  classic blocking rule: a silent participant might hold the one commit
+  record that proves the old coordinator acked the client).
+
+The coordinator acks a commit to the client only after the first
+participant's commit ack — i.e. only once at least one durable commit
+record exists — which is the invariant that makes "no lost acked commits"
+hold through a mid-commit crash.
+
+In-memory coordinator state (``in_flight``, ``decided``, delivery
+bookkeeping) is volatile: :meth:`recover` clears it, modelling a restart
+from nothing but the participants' logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network
+from repro.sim.node import Node
+from repro.txn.config import TxnConfig
+from repro.txn.log import TxnState
+
+#: ``owners_of(key) -> participant names`` — the routing oracle the fabric
+#: builds from the cluster's partitioner.
+OwnersFn = Callable[[str], Sequence[str]]
+
+COMMIT = "commit"
+ABORT = "abort"
+
+
+@dataclass
+class _InFlight:
+    """Coordinator-side state of one transaction between begin and decision."""
+
+    txn_id: str
+    writes: Dict[str, Any]
+    client: str
+    deadline_ms: float
+    participants: Tuple[str, ...]
+    per_participant: Dict[str, Dict[str, Any]]
+    started_ms: float
+    votes: Dict[str, bool] = field(default_factory=dict)
+    decision: Optional[str] = None
+    timeout_event: Optional[Any] = None
+    prepared_notice_sent: bool = False
+
+
+@dataclass
+class _Delivery:
+    """Decision redelivery state: who still owes an ack."""
+
+    txn_id: str
+    outcome: str
+    timestamp: Optional[Tuple[float, str, int]]
+    unacked: Set[str]
+    client: str
+    client_acked: bool = False
+
+
+class TwoPhaseCommitCoordinator(Node):
+    """One member of the coordinator group (active or standby)."""
+
+    def __init__(self, name: str, region: str, network: Network,
+                 config: TxnConfig, index: int, peers: Sequence[str],
+                 participants: Sequence[str], owners_of: OwnersFn) -> None:
+        super().__init__(name, region, network,
+                         service_time_ms=config.coordinator_service_ms)
+        self.config = config
+        self.index = index
+        self.peers: Tuple[str, ...] = tuple(peers)
+        self.participants: Tuple[str, ...] = tuple(sorted(participants))
+        self.owners_of = owners_of
+        # Group membership/epoch knowledge.
+        self.active = index == 0
+        self.epoch = 1
+        self.known_epoch = 1
+        self.active_name = self.peers[0] if self.peers else name
+        self._last_heard_ms = 0.0
+        # Volatile transaction state (cleared on crash recovery).
+        self.in_flight: Dict[str, _InFlight] = {}
+        self.decided: Dict[str, Tuple[str, Optional[Tuple[float, str, int]]]] = {}
+        self._deliveries: Dict[str, _Delivery] = {}
+        self._seq = itertools.count(1)
+        # Takeover recovery state.
+        self.recovering = False
+        self._takeover_pending: Set[str] = set()
+        self._takeover_replied: Set[str] = set()
+        self._in_doubt: Dict[str, Dict[str, Any]] = {}
+        self.recovery_started_ms: Optional[float] = None
+        self.recovery_completed_ms: Optional[float] = None
+        # Instrumentation.
+        self.txns_started = 0
+        self.commits = 0
+        self.aborts = 0
+        self.prepare_timeouts = 0
+        self.takeovers = 0
+        self.redirects = 0
+        self.decision_redeliveries = 0
+        self.heartbeats_sent = 0
+        # Timer management.
+        self._hb_armed = False
+        self._retry_armed = False
+        self._probe_armed = False
+        if config.heartbeat_interval_ms > 0:
+            self._arm_heartbeat()
+
+    # -- lifecycle -----------------------------------------------------------
+    def recover(self) -> None:
+        """Restart after a crash: volatile state is gone, rejoin as standby."""
+        super().recover()
+        for state in self.in_flight.values():
+            if state.timeout_event is not None:
+                state.timeout_event.cancel()
+        self.in_flight.clear()
+        self.decided.clear()
+        self._deliveries.clear()
+        self.active = False
+        self.recovering = False
+        self._takeover_pending.clear()
+        self._takeover_replied.clear()
+        self._in_doubt.clear()
+        # Grace period: trust whoever is active now until proven silent.
+        self._last_heard_ms = self.scheduler.now()
+        if self.config.heartbeat_interval_ms > 0 and not self._hb_armed:
+            self._arm_heartbeat()
+
+    def _deactivate(self) -> None:
+        """A higher epoch exists: stop acting as the active coordinator."""
+        self.active = False
+        self.recovering = False
+        for state in self.in_flight.values():
+            if state.timeout_event is not None:
+                state.timeout_event.cancel()
+        self.in_flight.clear()
+        self._deliveries.clear()
+        self._takeover_pending.clear()
+
+    # -- heartbeats & election ----------------------------------------------
+    def _arm_heartbeat(self) -> None:
+        self._hb_armed = True
+        self.scheduler.schedule(self.config.heartbeat_interval_ms,
+                                self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if not self.alive:
+            self._hb_armed = False
+            return
+        if self.active:
+            self._broadcast_heartbeat()
+        else:
+            self._check_active_liveness()
+        self.scheduler.schedule(self.config.heartbeat_interval_ms,
+                                self._heartbeat_tick)
+
+    def _broadcast_heartbeat(self) -> None:
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, "coord_heartbeat",
+                          {"name": self.name, "epoch": self.epoch},
+                          size_bytes=MESSAGE_HEADER_BYTES + 16)
+        self.heartbeats_sent += 1
+
+    def on_coord_heartbeat(self, message: Message) -> None:
+        payload = message.payload
+        if payload["epoch"] < self.known_epoch:
+            return
+        if payload["epoch"] > self.known_epoch or not self.active:
+            if self.active and payload["epoch"] > self.epoch:
+                self._deactivate()
+            self.known_epoch = payload["epoch"]
+            self.active_name = payload["name"]
+        self._last_heard_ms = self.scheduler.now()
+
+    def _standby_rank(self) -> int:
+        """Position among the standbys, in group order (0 = next in line)."""
+        rank = 0
+        for peer in self.peers:
+            if peer == self.name:
+                return rank
+            if peer != self.active_name:
+                rank += 1
+        return rank
+
+    def _check_active_liveness(self) -> None:
+        silence = self.scheduler.now() - self._last_heard_ms
+        threshold = self.config.coordinator_timeout_ms * (1 + self._standby_rank())
+        if silence > threshold:
+            self._take_over()
+
+    def _take_over(self) -> None:
+        """Become active: fence the old epoch and recover from participant logs."""
+        self.active = True
+        self.epoch = self.known_epoch + 1
+        self.known_epoch = self.epoch
+        self.active_name = self.name
+        self.takeovers += 1
+        self.recovering = True
+        self.recovery_started_ms = self.scheduler.now()
+        self.recovery_completed_ms = None
+        self._takeover_pending = set(self.participants)
+        self._takeover_replied = set()
+        self._in_doubt = {}
+        self._broadcast_heartbeat()
+        for participant in self.participants:
+            self._send_takeover_probe(participant)
+        if not self._probe_armed:
+            self._probe_armed = True
+            self.scheduler.schedule(self.config.takeover_probe_ms,
+                                    self._probe_tick)
+        if not self._takeover_pending:
+            self._finish_recovery_if_done()
+
+    def _send_takeover_probe(self, participant: str) -> None:
+        self.send(participant, "txn_takeover",
+                  {"epoch": self.epoch, "coordinator": self.name},
+                  size_bytes=MESSAGE_HEADER_BYTES + 16)
+
+    def _probe_tick(self) -> None:
+        if not self.alive or not self.active or not self.recovering:
+            self._probe_armed = False
+            return
+        for participant in sorted(self._takeover_pending):
+            self._send_takeover_probe(participant)
+        self.scheduler.schedule(self.config.takeover_probe_ms,
+                                self._probe_tick)
+
+    def on_txn_takeover_ack(self, message: Message) -> None:
+        payload = message.payload
+        if payload["epoch"] > self.epoch:
+            if self.active:
+                self._deactivate()
+            return
+        if not self.active or not self.recovering \
+                or payload["epoch"] < self.epoch:
+            return
+        participant = payload["participant"]
+        self._takeover_pending.discard(participant)
+        self._takeover_replied.add(participant)
+        for record in payload["records"]:
+            self._merge_recovered_record(record)
+        self._resolve_in_doubt()
+
+    def _merge_recovered_record(self, record: Dict[str, Any]) -> None:
+        txn_id = record["txn_id"]
+        state = record["state"]
+        if state == TxnState.COMMITTED:
+            self.decided[txn_id] = (COMMIT, tuple(record["timestamp"]))
+            self._in_doubt.pop(txn_id, None)
+            self._ensure_recovery_delivery(txn_id, record)
+        elif state == TxnState.ABORTED:
+            self.decided.setdefault(txn_id, (ABORT, None))
+            self._in_doubt.pop(txn_id, None)
+            if record["participants"]:
+                self._ensure_recovery_delivery(txn_id, record)
+        elif state == TxnState.PREPARED:
+            if txn_id in self.decided:
+                # The outcome is already known from another participant's
+                # record: make sure this still-prepared participant gets it.
+                self._ensure_recovery_delivery(txn_id, record)
+            else:
+                self._in_doubt[txn_id] = {
+                    "participants": tuple(record["participants"]),
+                    "client": record["client"],
+                }
+
+    def _ensure_recovery_delivery(self, txn_id: str,
+                                  record: Dict[str, Any]) -> None:
+        """Re-drive a recovered decision to the transaction's participants."""
+        outcome, timestamp = self.decided[txn_id]
+        self._start_delivery(txn_id, outcome, timestamp,
+                             tuple(record["participants"]),
+                             record["client"], notify_client_on_abort=True)
+
+    def _resolve_in_doubt(self) -> None:
+        for txn_id in sorted(self._in_doubt):
+            info = self._in_doubt[txn_id]
+            decided = self.decided.get(txn_id)
+            if decided is not None:
+                outcome, timestamp = decided
+            elif set(info["participants"]) <= self._takeover_replied:
+                # Every participant answered and none holds a commit record:
+                # the old coordinator cannot have acked this transaction
+                # (acks require a durable commit record), so presumed abort
+                # is safe.  Until then the transaction blocks — a silent
+                # participant may hold the proving record.
+                outcome, timestamp = ABORT, None
+                self.decided[txn_id] = (ABORT, None)
+                self.aborts += 1
+            else:
+                continue
+            del self._in_doubt[txn_id]
+            self._start_delivery(txn_id, outcome, timestamp,
+                                 info["participants"], info["client"],
+                                 notify_client_on_abort=True)
+        self._finish_recovery_if_done()
+
+    def _finish_recovery_if_done(self) -> None:
+        if self.recovering and not self._takeover_pending \
+                and not self._in_doubt:
+            self.recovering = False
+            self.recovery_completed_ms = self.scheduler.now()
+
+    # -- transaction intake --------------------------------------------------
+    def on_txn_begin(self, message: Message) -> None:
+        payload = message.payload
+        txn_id = payload["txn_id"]
+        if not self.active:
+            self.redirects += 1
+            self.send(message.src, "txn_redirect",
+                      {"txn_id": txn_id, "active": self.active_name},
+                      size_bytes=MESSAGE_HEADER_BYTES + 32)
+            return
+        decided = self.decided.get(txn_id)
+        if decided is not None:
+            self._send_client_final(message.src, txn_id, decided[0],
+                                    decided[1])
+            return
+        if txn_id in self.in_flight or txn_id in self._in_doubt:
+            # Duplicate submission of a transaction still being worked on:
+            # remember the (possibly new) reply-to and let it run.
+            if txn_id in self.in_flight:
+                self.in_flight[txn_id].client = payload["client"]
+            return
+        writes: Dict[str, Any] = payload["writes"]
+        members: Set[str] = set()
+        per_participant: Dict[str, Dict[str, Any]] = {}
+        for key in sorted(writes):
+            for owner in self.owners_of(key):
+                members.add(owner)
+                per_participant.setdefault(owner, {})[key] = writes[key]
+        state = _InFlight(
+            txn_id=txn_id, writes=dict(writes), client=payload["client"],
+            deadline_ms=payload.get("deadline_ms", float("inf")),
+            participants=tuple(sorted(members)),
+            per_participant=per_participant,
+            started_ms=self.scheduler.now())
+        self.in_flight[txn_id] = state
+        self.txns_started += 1
+        self.process(self._send_prepares, txn_id)
+
+    def _send_prepares(self, txn_id: str) -> None:
+        if not self.alive or not self.active:
+            return
+        state = self.in_flight.get(txn_id)
+        if state is None or state.decision is not None:
+            return
+        for participant in state.participants:
+            writes = state.per_participant[participant]
+            size = MESSAGE_HEADER_BYTES + sum(
+                self.config.key_size_bytes + self.config.value_size_bytes
+                for _ in writes)
+            self.send(participant, "txn_prepare", {
+                "txn_id": txn_id,
+                "epoch": self.epoch,
+                "writes": writes,
+                "participants": list(state.participants),
+                "client": state.client,
+                "deadline_ms": state.deadline_ms,
+            }, size_bytes=size)
+        now = self.scheduler.now()
+        timeout = min(self.config.prepare_timeout_ms,
+                      max(0.0, state.deadline_ms - now))
+        state.timeout_event = self.scheduler.schedule(
+            timeout, self._on_prepare_timeout, txn_id)
+
+    def _on_prepare_timeout(self, txn_id: str) -> None:
+        if not self.alive or not self.active:
+            return
+        state = self.in_flight.get(txn_id)
+        if state is None or state.decision is not None:
+            return
+        state.timeout_event = None
+        self.prepare_timeouts += 1
+        self._decide(txn_id, ABORT)
+
+    # -- votes & decision ----------------------------------------------------
+    def on_txn_vote(self, message: Message) -> None:
+        payload = message.payload
+        if payload["epoch"] > self.epoch:
+            if self.active:
+                self._deactivate()
+            return
+        if not self.active or payload["epoch"] < self.epoch:
+            return
+        state = self.in_flight.get(payload["txn_id"])
+        if state is None or state.decision is not None:
+            return
+        state.votes[payload["participant"]] = payload["vote"]
+        if not payload["vote"]:
+            self._decide(state.txn_id, ABORT)
+            return
+        if all(state.votes.get(p) for p in state.participants):
+            # Every participant voted yes: emit the speculative PREPARED
+            # view immediately, then make the decision durable (a crash in
+            # that window is what invalidates the speculation).
+            if not state.prepared_notice_sent:
+                state.prepared_notice_sent = True
+                self.send(state.client, "txn_prepared_notice",
+                          {"txn_id": state.txn_id},
+                          size_bytes=MESSAGE_HEADER_BYTES + 16)
+                self.process(self._finalize_commit, state.txn_id,
+                             service_time_ms=self.config.decision_log_ms)
+
+    def _finalize_commit(self, txn_id: str) -> None:
+        if not self.alive or not self.active:
+            return
+        state = self.in_flight.get(txn_id)
+        if state is None or state.decision is not None:
+            return
+        timestamp = (self.scheduler.now(), self.name, next(self._seq))
+        self._decide(txn_id, COMMIT, timestamp)
+
+    def _decide(self, txn_id: str, outcome: str,
+                timestamp: Optional[Tuple[float, str, int]] = None) -> None:
+        state = self.in_flight.pop(txn_id)
+        state.decision = outcome
+        if state.timeout_event is not None:
+            state.timeout_event.cancel()
+            state.timeout_event = None
+        self.decided[txn_id] = (outcome, timestamp)
+        if outcome == COMMIT:
+            self.commits += 1
+        else:
+            self.aborts += 1
+        self._start_delivery(txn_id, outcome, timestamp, state.participants,
+                             state.client, notify_client_on_abort=True)
+
+    def _start_delivery(self, txn_id: str, outcome: str,
+                        timestamp: Optional[Tuple[float, str, int]],
+                        participants: Sequence[str], client: str,
+                        notify_client_on_abort: bool) -> None:
+        existing = self._deliveries.get(txn_id)
+        if existing is not None:
+            # Widen an in-progress delivery (recovery can learn membership
+            # incrementally); re-acks from already-settled participants are
+            # idempotent.
+            existing.unacked |= set(participants)
+            self._send_decision(existing)
+            return
+        delivery = _Delivery(txn_id=txn_id, outcome=outcome,
+                             timestamp=timestamp,
+                             unacked=set(participants), client=client)
+        if outcome == ABORT:
+            # Aborts carry no durability requirement: tell the client now.
+            if notify_client_on_abort and client:
+                self._send_client_final(client, txn_id, ABORT, None)
+            delivery.client_acked = True
+        self._deliveries[txn_id] = delivery
+        self._send_decision(delivery)
+        if not self._retry_armed:
+            self._retry_armed = True
+            self.scheduler.schedule(self.config.decision_retry_ms,
+                                    self._decision_retry_tick)
+
+    def _send_decision(self, delivery: _Delivery) -> None:
+        kind = "txn_commit" if delivery.outcome == COMMIT else "txn_abort"
+        payload: Dict[str, Any] = {"txn_id": delivery.txn_id,
+                                   "epoch": self.epoch}
+        if delivery.outcome == COMMIT:
+            payload["timestamp"] = list(delivery.timestamp)
+        for participant in sorted(delivery.unacked):
+            self.send(participant, kind, dict(payload),
+                      size_bytes=MESSAGE_HEADER_BYTES + 48)
+
+    def _decision_retry_tick(self) -> None:
+        if not self.alive or not self.active or not self._deliveries:
+            self._retry_armed = False
+            return
+        for txn_id in sorted(self._deliveries):
+            delivery = self._deliveries[txn_id]
+            if delivery.unacked:
+                self.decision_redeliveries += 1
+                self._send_decision(delivery)
+        self.scheduler.schedule(self.config.decision_retry_ms,
+                                self._decision_retry_tick)
+
+    def on_txn_commit_ack(self, message: Message) -> None:
+        payload = message.payload
+        delivery = self._deliveries.get(payload["txn_id"])
+        if delivery is None:
+            return
+        delivery.unacked.discard(payload["participant"])
+        if delivery.outcome == COMMIT and not delivery.client_acked:
+            # First durable commit record in place: the outcome can no
+            # longer be lost, so the client may be told it committed.
+            delivery.client_acked = True
+            if delivery.client:
+                self._send_client_final(delivery.client, delivery.txn_id,
+                                        COMMIT, delivery.timestamp)
+        if not delivery.unacked:
+            del self._deliveries[delivery.txn_id]
+
+    def on_txn_abort_ack(self, message: Message) -> None:
+        payload = message.payload
+        delivery = self._deliveries.get(payload["txn_id"])
+        if delivery is None:
+            return
+        delivery.unacked.discard(payload["participant"])
+        if not delivery.unacked:
+            del self._deliveries[delivery.txn_id]
+
+    def _send_client_final(self, client: str, txn_id: str, outcome: str,
+                           timestamp: Optional[Tuple[float, str, int]]) -> None:
+        self.send(client, "txn_final", {
+            "txn_id": txn_id,
+            "outcome": outcome,
+            "timestamp": list(timestamp) if timestamp else None,
+        }, size_bytes=MESSAGE_HEADER_BYTES + 48)
+
+    # -- introspection -------------------------------------------------------
+    def time_to_recover_ms(self) -> Optional[float]:
+        """Takeover duration (probe start → every in-doubt txn resolved)."""
+        if self.recovery_started_ms is None \
+                or self.recovery_completed_ms is None:
+            return None
+        return self.recovery_completed_ms - self.recovery_started_ms
+
+    def in_doubt_txns(self) -> List[str]:
+        return sorted(self._in_doubt)

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.core.retry import RetryPolicy
 from repro.sim.failover import FailoverMixin
 from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network
 from repro.sim.node import Node
@@ -100,6 +101,19 @@ class ZKClient(FailoverMixin, Node):
 
     def _failover_retries(self) -> int:
         return self.config.client_retries
+
+    def _retry_policy(self) -> RetryPolicy:
+        policy = self._failover_policy
+        if policy is None:
+            policy = RetryPolicy(
+                max_retries=self.config.client_retries,
+                base_delay_ms=self.config.client_backoff_base_ms,
+                multiplier=self.config.client_backoff_multiplier,
+                cap_ms=self.config.client_backoff_cap_ms,
+                jitter_ms=self.config.client_backoff_jitter_ms,
+                label=f"failover:{self.name}")
+            self._failover_policy = policy
+        return policy
 
     def _timeout_failure_response(self, pending: _PendingRequest) -> Dict[str, Any]:
         return {

@@ -46,6 +46,13 @@ class ZooKeeperConfig:
     request_timeout_ms: float = 0.0
     #: How many times the client re-issues a timed-out request.
     client_retries: int = 3
+    #: Backoff before a client re-issue (ms); 0 keeps the historical
+    #: immediate-retry behaviour.  Positive values grow exponentially per
+    #: attempt via the shared :class:`~repro.core.retry.RetryPolicy`.
+    client_backoff_base_ms: float = 0.0
+    client_backoff_multiplier: float = 2.0
+    client_backoff_cap_ms: float = 1_000.0
+    client_backoff_jitter_ms: float = 0.0
 
     @classmethod
     def fault_tolerant(cls, **overrides) -> "ZooKeeperConfig":

@@ -66,7 +66,7 @@ def figure_fingerprints(jobs: int = 1) -> Dict[str, str]:
     from repro.bench.cli import run_figure
 
     return {name: _sha([run_figure(name, quick=True, jobs=jobs)])
-            for name in ("fig06", "fig09", "fig14", "fig15")}
+            for name in ("fig06", "fig09", "fig14", "fig15", "fig16")}
 
 
 def _golden() -> Dict:

@@ -80,7 +80,9 @@ class TestScenarioLibrary:
     def test_registry_contains_the_documented_scenarios(self):
         names = scenario_names()
         for expected in ("replica-crash", "wan-partition", "flapping-link",
-                         "slow-follower", "leader-crash"):
+                         "slow-follower", "leader-crash",
+                         "coordinator-crash-mid-commit",
+                         "participant-crash-after-prepare"):
             assert expected in names
 
     def test_get_scenario_builds_with_overrides(self):
@@ -92,6 +94,24 @@ class TestScenarioLibrary:
     def test_get_scenario_unknown_name(self):
         with pytest.raises(KeyError):
             get_scenario("meteor-strike")
+
+    def test_coordinator_crash_mid_commit_is_a_crash_window(self):
+        scenario = get_scenario("coordinator-crash-mid-commit",
+                                at_ms=100.0, duration_ms=400.0)
+        assert [(e.at_ms, e.action, e.target) for e in scenario.schedule] == [
+            (100.0, "crash", "txn-coordinator:0"),
+            (500.0, "recover", "txn-coordinator:0"),
+        ]
+
+    def test_participant_crash_after_prepare_targets_a_participant(self):
+        scenario = get_scenario("participant-crash-after-prepare")
+        assert [e.action for e in scenario.schedule] == ["crash", "recover"]
+        assert all(e.target == "txn-participant:0"
+                   for e in scenario.schedule)
+        override = get_scenario("participant-crash-after-prepare",
+                                target="txn-participant:2")
+        assert all(e.target == "txn-participant:2"
+                   for e in override.schedule)
 
     def test_every_scenario_builds_with_defaults(self):
         for name in scenario_names():

@@ -1,0 +1,187 @@
+"""2PC protocol tests: commit/abort paths, locks, deadlines, idempotency.
+
+These tests run with heartbeats disabled (no failure detection), so the
+event queue drains and ``run_until_idle`` terminates; coordinator failover
+is exercised separately in ``test_failover.py``.
+"""
+
+import pytest
+
+from repro.core.consistency import STRONG
+from repro.sim.network import Message
+from repro.txn import PREPARED, TransactionError, TxnState, txn_aliases
+from txn_helpers import collect, make_fabric, no_failover_config
+
+
+class TestCommitPath:
+    def test_commit_applies_on_every_owner(self):
+        fabric = make_fabric()
+        manager = fabric.manager
+        keys = fabric.built.dataset.keys()[:2]
+        writes = {keys[0]: "txn-a", keys[1]: "txn-b"}
+        box = collect(manager.execute(writes))
+        fabric.built.env.run_until_idle()
+
+        assert box["error"] is None
+        final = box["final"]
+        assert final.value["outcome"] == "commit"
+        assert final.consistency == STRONG
+        # The speculative PREPARED view fired first and agreed with the
+        # final outcome.
+        assert [view.consistency for view in box["views"]] == [PREPARED]
+        assert box["views"][0].value["speculative"] is True
+        assert manager.stats.prepared_views == 1
+        assert manager.stats.matched == 1
+        assert manager.stats.mismatched == 0
+        assert manager.stats.accuracy() == 1.0
+
+        txn_id = final.value["txn_id"]
+        timestamp = final.value["timestamp"]
+        for key, value in writes.items():
+            for owner in fabric.owners_of(key):
+                participant = fabric.participants[owner]
+                record = participant.log.get(txn_id)
+                assert record is not None
+                assert record.state == TxnState.COMMITTED
+                stored = participant.replica.table.get(key)
+                assert stored.value == value
+                assert stored.timestamp == timestamp
+                assert txn_id in participant.applied
+        # All prepare locks were released on commit.
+        assert all(not p.locks for p in fabric.participants.values())
+        fabric.assert_atomic()
+
+    def test_duplicate_begin_is_idempotent(self):
+        fabric = make_fabric()
+        manager = fabric.manager
+        env = fabric.built.env
+        key = fabric.built.dataset.keys()[0]
+        box = collect(manager.execute({key: "v1"}))
+        env.run_until_idle()
+        txn_id = box["final"].value["txn_id"]
+        coordinator = fabric.active_coordinator()
+
+        # A retried submission of an already-decided transaction must not
+        # re-run 2PC: the coordinator replays the decided outcome and every
+        # participant applies the commit exactly once.
+        applied_before = {name: p.commits_applied
+                         for name, p in fabric.participants.items()}
+        manager.send(coordinator.name, "txn_begin", {
+            "txn_id": txn_id, "writes": {key: "v1"},
+            "client": manager.name, "deadline_ms": float("inf")})
+        env.run_until_idle()
+
+        assert manager.duplicate_finals == 1
+        assert coordinator.txns_started == 1
+        assert coordinator.commits == 1
+        for name, participant in fabric.participants.items():
+            assert participant.commits_applied == applied_before[name]
+        fabric.assert_atomic()
+
+
+class TestAbortPaths:
+    def test_conflicting_transactions_serialize_by_abort(self):
+        fabric = make_fabric()
+        manager = fabric.manager
+        key = fabric.built.dataset.keys()[0]
+        first = collect(manager.execute({key: "first"}))
+        second = collect(manager.execute({key: "second"}))
+        fabric.built.env.run_until_idle()
+
+        outcomes = sorted(box["final"].value["outcome"]
+                          for box in (first, second))
+        assert outcomes == ["abort", "commit"]
+        conflicts = sum(p.lock_conflicts
+                        for p in fabric.participants.values())
+        assert conflicts >= 1
+        # The winner's value is what every owner stores; the loser's writes
+        # reached no replica table.
+        winner_value = ("first" if first["final"].value["outcome"] == "commit"
+                        else "second")
+        for owner in fabric.owners_of(key):
+            stored = fabric.participants[owner].replica.table.get(key)
+            assert stored.value == winner_value
+        fabric.assert_atomic()
+
+    def test_expired_budget_aborts(self):
+        fabric = make_fabric()
+        manager = fabric.manager
+        key = fabric.built.dataset.keys()[0]
+        box = collect(manager.execute({key: "late"}, budget_ms=0.0))
+        fabric.built.env.run_until_idle()
+
+        # Participants refuse to prepare past the deadline (or the
+        # coordinator's clamped vote-collection timeout fires): the outcome
+        # is a clean abort, never a commit and never a hang.
+        assert box["final"].value["outcome"] == "abort"
+        assert box["views"] == []          # no speculative view either
+        refusals = sum(p.deadline_refusals
+                       for p in fabric.participants.values())
+        timeouts = sum(c.prepare_timeouts for c in fabric.coordinators)
+        assert refusals + timeouts >= 1
+        for owner in fabric.owners_of(key):
+            stored = fabric.participants[owner].replica.table.get(key)
+            assert stored is None or stored.value != "late"
+        fabric.assert_atomic()
+
+    def test_no_live_coordinator_fails_the_transaction(self):
+        fabric = make_fabric()
+        manager = fabric.manager
+        for coordinator in fabric.coordinators:
+            coordinator.crash()
+        key = fabric.built.dataset.keys()[0]
+        box = collect(manager.execute({key: "v"}))
+        fabric.built.env.run_until_idle()
+
+        assert box["final"] is None
+        assert isinstance(box["error"], TransactionError)
+        assert manager.failed_requests == 1
+        assert manager.retries == manager.config.client_retries
+        # The health tracker saw every timeout.
+        assert fabric.balancer.times_opened() >= 1
+
+
+class TestFabricWiring:
+    def test_txn_aliases_cover_coordinators_and_participants(self):
+        fabric = make_fabric()
+        aliases = txn_aliases(fabric)
+        # txn-coordinator:0 is the initially active coordinator — the one
+        # the coordinator-crash-mid-commit scenario targets.
+        assert aliases["txn-coordinator:0"] == fabric.coordinators[0].name
+        assert aliases["txn-coordinator:1"] == fabric.coordinators[1].name
+        participant_aliases = {k: v for k, v in aliases.items()
+                               if k.startswith("txn-participant:")}
+        assert len(participant_aliases) == len(fabric.participants)
+        assert set(participant_aliases.values()) == set(fabric.participants)
+
+    def test_empty_transaction_rejected(self):
+        fabric = make_fabric()
+        with pytest.raises(ValueError):
+            fabric.manager.execute({})
+
+
+class TestEpochFencing:
+    def test_participant_rejects_stale_epoch_messages(self):
+        fabric = make_fabric()
+        manager = fabric.manager
+        env = fabric.built.env
+        key = fabric.built.dataset.keys()[0]
+        collect(manager.execute({key: "v"}))
+        env.run_until_idle()
+
+        participant = fabric.participants[fabric.owners_of(key)[0]]
+        assert participant.epoch >= 1
+        votes_before = participant.votes_yes + participant.votes_no
+        stale = Message(src="txn-coord-ghost", dst=participant.name,
+                        kind="txn_prepare",
+                        payload={"txn_id": "ghost:1", "epoch": 0,
+                                 "writes": {key: "ghost"},
+                                 "participants": [participant.name],
+                                 "client": manager.name,
+                                 "deadline_ms": float("inf")})
+        participant.on_txn_prepare(stale)
+        env.run_until_idle()
+
+        assert participant.stale_epoch_rejections == 1
+        assert participant.votes_yes + participant.votes_no == votes_before
+        assert participant.log.get("ghost:1") is None
