@@ -75,3 +75,29 @@ def test_fig15_hundred_node_rebalance():
     assert record["ring_version"] == 1
     # On a 100-node ring a single joiner gains ~1% of the keyspace.
     assert 0 < record["keys_streamed"] < 400 * 3 * 0.1
+
+
+@pytest.mark.slow
+def test_fig15_million_key_rebalance():
+    """A rebalance cell over a 1.2M-key hot-partition keyspace.
+
+    The "millions of keys" scale knob from ROADMAP item 1, enabled by the
+    vectorized key streams: key indices are drawn through the chunked
+    Zipfian path and formatted on demand (the dataset's key cache opts out
+    above 2^18 records), and ``preload=False`` keeps setup cost at the
+    one-time O(n) zeta sum instead of an O(n) ring preload.  Excluded from
+    tier-1 (slow marker) like the 100-node cell above.
+    """
+    [point] = build_fig15_points(
+        nodes=(6,), skews=("zipf-1.2",), events=("join",),
+        rate_ops_s=200.0, sessions=80, duration_ms=4_000.0,
+        warmup_ms=600.0, cooldown_ms=300.0, event_at_ms=1_500.0,
+        record_count=1_200_000, preload=False, seed=42)
+    record = run_fig15_point(point)
+    assert record["lost_acked_writes"] == 0
+    assert record["failed_ops"] == 0
+    assert record["ring_version"] == 1
+    assert record["measured_ops"] > 0
+    # The skew concentrates traffic, so the touched key set the join has
+    # to stream stays small even though the keyspace is seven figures.
+    assert record["rebalance_ms"] > 0

@@ -176,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "slower than the best committed entry per "
                            "scenario (composes with recording; add "
                            "--no-save to only gate)")
+    perf.add_argument("--min-events-per-s", action="append", default=None,
+                      metavar="SCENARIO=RATE", dest="events_floors",
+                      help="absolute events/s floor for one scenario, e.g. "
+                           "fig06-closed-loop=60000 (repeatable; exits "
+                           "non-zero below the floor)")
     return parser
 
 
@@ -193,6 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          scenarios=args.perf_scenarios, output=args.output,
                          save=not args.no_save,
                          regression_gate=args.check_regression,
+                         events_floors=args.events_floors,
                          seed=args.seed, jobs=jobs)
     names = list(_FIGURES) if args.figure == "all" else [args.figure]
     # With an explicit figure, --histograms on an unsupported harness is a

@@ -70,6 +70,81 @@ def build_cassandra_scenario(seed: int = 0,
     return spec.build()
 
 
+class _IcgReadOp:
+    """Pooled per-operation state for one in-flight ICG read.
+
+    Replaces the per-op state dict plus two closures the ICG issue path used
+    to allocate: the callbacks are bound methods created once, and finished
+    instances go back on a free list, so steady-state ICG load allocates no
+    per-op objects.  ``pool_stats`` feeds the pool leak tests.
+    """
+
+    __slots__ = ("done", "prelim_value", "prelim_latency", "had_prelim",
+                 "on_preliminary", "on_final")
+
+    _pool: list = []
+    _created = 0
+    _recycled = 0
+
+    def __init__(self) -> None:
+        self.done: Optional[Callable] = None
+        self.prelim_value: Any = None
+        self.prelim_latency: Optional[float] = None
+        self.had_prelim = False
+        self.on_preliminary = self._on_preliminary  # bound once, reused
+        self.on_final = self._on_final
+
+    @classmethod
+    def acquire(cls, done: Callable[[Dict[str, Any]], None]) -> "_IcgReadOp":
+        pool = cls._pool
+        if pool:
+            op = pool.pop()
+        else:
+            cls._created += 1
+            op = cls()
+        op.done = done
+        return op
+
+    def _on_preliminary(self, resp: Dict[str, Any]) -> None:
+        self.had_prelim = True
+        self.prelim_value = resp["value"]
+        self.prelim_latency = resp["latency_ms"]
+
+    def _on_final(self, resp: Dict[str, Any]) -> None:
+        done = self.done
+        failed = "error" in resp
+        diverged = (not failed
+                    and self.had_prelim
+                    and self.prelim_value != resp["value"]
+                    and not resp.get("is_confirmation", False))
+        info = {
+            "final_latency_ms": resp["latency_ms"],
+            "preliminary_latency_ms": self.prelim_latency,
+            "had_preliminary": self.had_prelim,
+            "diverged": diverged,
+            "degraded": bool(resp.get("degraded", False)),
+            "failed": failed,
+        }
+        # Recycle before invoking ``done``: a closed-loop thread issues its
+        # next operation inside the callback, and may legitimately reuse
+        # this very instance for it.
+        self.done = None
+        self.prelim_value = None
+        self.prelim_latency = None
+        self.had_prelim = False
+        cls = _IcgReadOp
+        cls._recycled += 1
+        cls._pool.append(self)
+        done(info)
+
+    @classmethod
+    def pool_stats(cls) -> Dict[str, int]:
+        """Counters for the leak tests: every created op should eventually
+        be recycled (ops that never see a final response would leak)."""
+        return {"created": cls._created, "recycled": cls._recycled,
+                "free": len(cls._pool)}
+
+
 def make_kv_issue(client: CassandraClient, system: str,
                   write_quorum: int = 1) -> Callable:
     """Build the runner ``issue`` function for one Cassandra system label.
@@ -104,31 +179,9 @@ def make_kv_issue(client: CassandraClient, system: str,
                              "failed": "error" in resp}))
             return
 
-        state: Dict[str, Any] = {"prelim_value": None, "prelim_latency": None,
-                                 "had_prelim": False}
-
-        def _on_preliminary(resp: Dict[str, Any]) -> None:
-            state["had_prelim"] = True
-            state["prelim_value"] = resp["value"]
-            state["prelim_latency"] = resp["latency_ms"]
-
-        def _on_final(resp: Dict[str, Any]) -> None:
-            failed = "error" in resp
-            diverged = (not failed
-                        and state["had_prelim"]
-                        and state["prelim_value"] != resp["value"]
-                        and not resp.get("is_confirmation", False))
-            done({
-                "final_latency_ms": resp["latency_ms"],
-                "preliminary_latency_ms": state["prelim_latency"],
-                "had_preliminary": state["had_prelim"],
-                "diverged": diverged,
-                "degraded": bool(resp.get("degraded", False)),
-                "failed": failed,
-            })
-
+        op = _IcgReadOp.acquire(done)
         client.read(key, r=read_quorum, icg=True,
-                    on_preliminary=_on_preliminary, on_final=_on_final)
+                    on_preliminary=op.on_preliminary, on_final=op.on_final)
 
     return _issue
 

@@ -390,8 +390,73 @@ def _measure(fn: Callable[..., Dict[str, Any]], kwargs: Dict[str, Any],
     return stats
 
 
+#: Subsystem buckets for the profile budget table, matched in order against
+#: each profiled function's source path (first hit wins, so the specific
+#: ``sim/`` files route to scheduler/network before the generic protocol
+#: bucket picks up the rest of ``repro/``).  Everything outside the package
+#: (stdlib, builtins, the bench harness itself) lands in "other".
+_BUDGET_BUCKETS: Sequence[tuple] = (
+    ("scheduler", ("repro/sim/scheduler.py", "repro/sim/clock.py")),
+    ("network", ("repro/sim/network.py", "repro/sim/topology.py",
+                 "repro/sim/node.py")),
+    ("workload", ("repro/workloads/",)),
+    ("metrics", ("repro/metrics/",)),
+    ("protocol", ("repro/cassandra_sim/", "repro/zookeeper_sim/",
+                  "repro/txn/", "repro/bindings/", "repro/core/",
+                  "repro/faults", "repro/sim/")),
+)
+
+
+def _budget_bucket(filename: str) -> str:
+    path = filename.replace("\\", "/")
+    for bucket, needles in _BUDGET_BUCKETS:
+        for needle in needles:
+            if needle in path:
+                return bucket
+    return "other"
+
+
+def budget_from_profiler(profiler: cProfile.Profile) -> Dict[str, Any]:
+    """Aggregate a profile into per-subsystem self-time shares.
+
+    Shares are fractions of the profiled run's total self time, so they
+    stay comparable across hosts and scales even though cProfile inflates
+    absolute wall time.  Persisted per scenario in BENCH_perf.json so a
+    future regression names its subsystem, not just its magnitude.
+    """
+    totals: Dict[str, float] = {bucket: 0.0 for bucket, _ in _BUDGET_BUCKETS}
+    totals["other"] = 0.0
+    stats = pstats.Stats(profiler)
+    grand = 0.0
+    for (filename, _lineno, _name), (_cc, _nc, tt, _ct, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        totals[_budget_bucket(filename)] += tt
+        grand += tt
+    budget = {"profiled_s": round(grand, 4)}
+    budget["shares"] = {
+        bucket: round(seconds / grand, 4) if grand > 0 else 0.0
+        for bucket, seconds in totals.items()}
+    return budget
+
+
+def format_budget(name: str, budget: Dict[str, Any]) -> str:
+    """Render one scenario's budget table (shares of profiled self time)."""
+    from repro.metrics.summary import format_table
+
+    shares = budget["shares"]
+    order = [bucket for bucket, _ in _BUDGET_BUCKETS] + ["other"]
+    rows = [[bucket, f"{shares[bucket] * 100.0:.1f}%",
+             round(shares[bucket] * budget["profiled_s"], 3)]
+            for bucket in order]
+    return format_table(
+        ["subsystem", "share", "self (s)"], rows,
+        title=f"Profile budget: {name} ({budget['profiled_s']:.2f}s "
+              f"profiled self time)")
+
+
 def _profile(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
-             top: int) -> str:
+             top: int) -> tuple:
+    """One profiled run; returns ``(top-N text, subsystem budget)``."""
     profiler = cProfile.Profile()
     profiler.enable()
     fn(**kwargs)
@@ -399,7 +464,7 @@ def _profile(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.strip_dirs().sort_stats("cumulative").print_stats(top)
-    return buffer.getvalue()
+    return buffer.getvalue(), budget_from_profiler(profiler)
 
 
 def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
@@ -436,8 +501,14 @@ def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
         for name, fn, kwargs in tasks:
             measured[name] = _measure(fn, kwargs, repeats)
             if profile_top > 0:
+                # The profiled run is separate from the timed repeats, so
+                # wall_s stays uninstrumented; only the budget shares (which
+                # are host- and overhead-insensitive ratios) are recorded.
+                text, budget = _profile(fn, kwargs, profile_top)
+                measured[name]["profile_budget"] = budget
                 echo(f"--- cProfile top {profile_top}: {name} ---")
-                echo(_profile(fn, kwargs, profile_top))
+                echo(text)
+                echo(format_budget(name, budget))
         return measured
     from concurrent.futures import ProcessPoolExecutor
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
@@ -597,15 +668,56 @@ def check_regression(measured: Dict[str, Any], committed: Dict[str, Any],
     return ok
 
 
+def parse_floor_specs(specs: Optional[Sequence[str]]) -> Dict[str, float]:
+    """Parse repeatable ``scenario=events_per_s`` floor specs."""
+    floors: Dict[str, float] = {}
+    for spec in specs or ():
+        name, _, value = spec.partition("=")
+        if not value:
+            raise ValueError(
+                f"bad floor spec {spec!r}; expected scenario=events_per_s")
+        if name not in PERF_SCENARIOS:
+            raise ValueError(f"unknown perf scenario in floor spec {spec!r}; "
+                             f"choose from {list(PERF_SCENARIOS)}")
+        floors[name] = float(value)
+    return floors
+
+
+def check_floors(measured: Dict[str, Any], floors: Dict[str, float],
+                 echo: Callable[[str], None] = print) -> bool:
+    """True when every floored scenario meets its absolute events/s floor.
+
+    Unlike the relative regression gate (which only catches a >2x slide
+    against committed history), the floor pins a hard minimum event rate so
+    a sequence of small regressions can never silently erode the fast path.
+    """
+    ok = True
+    for name, floor in floors.items():
+        stats = measured.get(name)
+        if stats is None:
+            echo(f"perf-floor {name}: scenario not measured ... FAIL")
+            ok = False
+            continue
+        rate = stats["events_per_s"]
+        verdict = "ok" if rate >= floor else "TOO SLOW"
+        if rate < floor:
+            ok = False
+        echo(f"perf-floor {name}: {rate:,.0f} events/s vs floor "
+             f"{floor:,.0f} ... {verdict}")
+    return ok
+
+
 def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
               label: Optional[str] = None,
               scenarios: Optional[Sequence[str]] = None,
               output: Optional[str] = None, save: bool = True,
               regression_gate: bool = False,
+              events_floors: Optional[Sequence[str]] = None,
               seed: Optional[int] = None, jobs: JobsSpec = 1) -> int:
     """Entry point behind ``python -m repro.bench perf``."""
     jobs = resolve_jobs(jobs)
     path = Path(output) if output else DEFAULT_RESULTS_PATH
+    floors = parse_floor_specs(events_floors)
     trajectory = load_trajectory(path)
     measured = run_perf(scenarios=scenarios, quick=quick, repeats=repeats,
                         profile_top=profile_top, seed=seed, jobs=jobs)
@@ -620,6 +732,8 @@ def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
             gate_ok = False
         else:
             gate_ok = check_regression(measured, committed)
+    if floors and not check_floors(measured, floors):
+        gate_ok = False
     # Recording composes with the gate so CI can gate and upload the very
     # numbers it gated in one measurement pass.
     if save:

@@ -23,7 +23,7 @@ from repro.sim.node import Node
 ResponseCallback = Callable[[Dict[str, Any]], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     kind: str
     sent_at: float
@@ -93,7 +93,10 @@ class CassandraClient(FailoverMixin, Node):
         # A YCSB update writes a single field, so the request is sized by the
         # written payload (reads, in contrast, return the whole record and are
         # sized by the replica using ``config.value_size_bytes`` as a floor).
-        value_bytes = estimate_payload_size(value)
+        if type(value) is str and value.isascii():
+            value_bytes = len(value)
+        else:
+            value_bytes = estimate_payload_size(value)
         pending = _PendingRequest(
             kind="write", sent_at=self.scheduler.now(), on_final=on_final,
             request={"req_id": req_id, "key": key, "value": value, "w": w},
@@ -109,7 +112,10 @@ class CassandraClient(FailoverMixin, Node):
 
     def _dispatch(self, pending: _PendingRequest, message_kind: str) -> None:
         contact = self._contacts[pending.rotation_index % len(self._contacts)]
-        self.send(contact, message_kind, dict(pending.request),
+        # The request dict is shared with the message (no defensive copy):
+        # replica handlers only read payloads, and a re-dispatch after
+        # failover sends the identical request anyway.
+        self.send(contact, message_kind, pending.request,
                   size_bytes=pending.size_bytes)
         self._arm_request_timeout(pending, pending.request["req_id"],
                                   self.config.client_timeout_ms)

@@ -15,7 +15,7 @@ from typing import Any, Dict, List, Optional
 from repro.cassandra_sim.versions import VersionedValue, resolve
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadSession:
     """One client read being coordinated."""
 
@@ -61,7 +61,7 @@ class ReadSession:
         return stale
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteSession:
     """One client write being coordinated."""
 

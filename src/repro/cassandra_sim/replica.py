@@ -45,7 +45,7 @@ from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_p
 from repro.sim.node import Node
 
 
-@dataclass
+@dataclass(slots=True)
 class _StreamState:
     """Source-side progress of one range-transfer task."""
 
@@ -129,8 +129,14 @@ class CassandraReplica(Node):
     def _value_bytes(self, version: Optional[VersionedValue]) -> int:
         if version is None:
             return 8
-        return max(self.config.value_size_bytes,
-                   estimate_payload_size(version.value))
+        value = version.value
+        # Stored values are ASCII strings in every workload; size them with
+        # ``len`` and only fall back to the generic payload walker otherwise.
+        if type(value) is str and value.isascii():
+            size = len(value)
+        else:
+            size = estimate_payload_size(value)
+        return max(self.config.value_size_bytes, size)
 
     # -- client read path -------------------------------------------------------
     def on_client_read(self, message: Message) -> None:
@@ -176,12 +182,16 @@ class CassandraReplica(Node):
                              service_time_ms=self.config.preliminary_flush_ms)
 
         remote_needed = session.r - (1 if local_participant else 0)
-        for replica_name in self._other_replicas_by_distance(key)[:max(0, remote_needed)]:
-            session.contacted.append(replica_name)
-            self.send(replica_name, "read_req",
-                      {"session_id": session.session_id, "key": key,
-                       "epoch": self.partitioner.version},
-                      size_bytes=MESSAGE_HEADER_BYTES + self.config.key_size_bytes)
+        targets = self._other_replicas_by_distance(key)[:max(0, remote_needed)]
+        if targets:
+            size = MESSAGE_HEADER_BYTES + self.config.key_size_bytes
+            session_id = session.session_id
+            epoch = self.partitioner.version
+            session.contacted.extend(targets)
+            self.send_many([(replica_name, "read_req",
+                             {"session_id": session_id, "key": key,
+                              "epoch": epoch}, size)
+                            for replica_name in targets])
 
         self._maybe_finish_read(session)
         if not session.final_sent:
@@ -435,16 +445,20 @@ class CassandraReplica(Node):
             session.record_ack(self.name)
         # Send the write to every other replica: the ones beyond W make up
         # the asynchronous (eventual) replication path.
-        for replica_name in self._other_replicas_by_distance(key):
-            self.send(replica_name, "write_req",
-                      {"key": key,
-                       "value": session.version.value,
-                       "timestamp": session.version.timestamp,
-                       "session_id": session.session_id,
-                       "epoch": self.partitioner.version},
-                      size_bytes=(MESSAGE_HEADER_BYTES
-                                  + self.config.key_size_bytes
-                                  + self._value_bytes(session.version)))
+        others = self._other_replicas_by_distance(key)
+        if others:
+            value = session.version.value
+            timestamp = session.version.timestamp
+            session_id = session.session_id
+            epoch = self.partitioner.version
+            size = (MESSAGE_HEADER_BYTES + self.config.key_size_bytes
+                    + self._value_bytes(session.version))
+            self.send_many([(replica_name, "write_req",
+                             {"key": key, "value": value,
+                              "timestamp": timestamp,
+                              "session_id": session_id,
+                              "epoch": epoch}, size)
+                            for replica_name in others])
         # While a membership change is in flight, also forward the write to
         # the nodes gaining this key's range (``session_id=None``: forwarded
         # copies never count towards the quorum), so no acknowledged write

@@ -10,7 +10,7 @@ from typing import Any, Iterable, Optional, Tuple
 Timestamp = Tuple[float, str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionedValue:
     """A value together with the timestamp of the write that produced it."""
 

@@ -6,18 +6,30 @@ delay drawn from the :class:`~repro.sim.topology.Topology`.  Every message's
 size is charged to the (source, destination) link, which is what the paper's
 bandwidth figures (Figures 8 and 10) measure on the client-replica links.
 
-The send path is written for throughput: with no faults installed the
-partition/degradation checks cost one truthiness test each (no ``frozenset``
-allocation), per-node byte totals are maintained as O(1) counters instead of
-scanning every link, and payload sizing is iterative with a cache for
-non-ASCII strings.
+The send path is written for throughput:
+
+* with no faults installed the partition/degradation checks cost one
+  truthiness test each (no ``frozenset`` allocation), per-node byte totals
+  are maintained as O(1) counters, and payload sizing is iterative with a
+  cache for non-ASCII strings;
+* per-(src, dst) *routes* — endpoint nodes, link stats and the jitter-free
+  base delay — are cached and invalidated by topology edits (a version
+  counter), membership changes and ``reset_stats``; jitter is applied
+  inline with the exact arithmetic of ``Topology.one_way``;
+* delivered :class:`Message` objects are recycled through a free-list pool
+  guarded by a refcount check, so steady-state traffic allocates no message
+  objects at all (see :meth:`Network.pool_stats`);
+* :meth:`Network.send_many` fans a burst out of one node and coalesces
+  same-instant deliveries into one batched heap entry
+  (:meth:`~repro.sim.scheduler.Scheduler.schedule_batch_at`).
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.sim.scheduler import Scheduler
 from repro.sim.topology import Topology
@@ -29,6 +41,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 MESSAGE_HEADER_BYTES = 50
 
 _message_ids = itertools.count(1)
+
+#: Upper bound on the per-network message free list; bounds pool memory at
+#: the peak number of simultaneously in-flight messages worth keeping.
+_MESSAGE_POOL_MAX = 4096
 
 #: UTF-8 sizes of non-ASCII strings seen by :func:`estimate_payload_size`
 #: (ASCII strings — the common case — are sized with ``len`` directly).
@@ -168,21 +184,44 @@ class Network:
 
     def __init__(self, scheduler: Scheduler, topology: Topology) -> None:
         self.scheduler = scheduler
+        self._clock = scheduler.clock
         self.topology = topology
         self._nodes: Dict[str, "Node"] = {}
         self._links: Dict[Tuple[str, str], LinkStats] = {}
         #: O(1) per-node byte totals (every link where the node is an
-        #: endpoint), maintained on send instead of scanned on demand.
-        self._node_bytes: Dict[str, int] = {}
+        #: endpoint), kept as single-element list cells so cached routes can
+        #: charge them without a dict lookup per send.
+        self._node_cells: Dict[str, list] = {}
         self._partitioned: set = set()
         self._partitioned_regions: set = set()
         #: Extra one-way latency (ms) per node pair or region pair; region
         #: keys use the ``"region:<name>"`` form so the two namespaces never
         #: collide with node names.
         self._link_extra_ms: Dict[frozenset, float] = {}
+        #: (src, dst) -> [src_node, dst_node, LinkStats | None, base_delay,
+        #: src_byte_cell, dst_byte_cell | None].  Stats are filled in on
+        #: first charge so dead-sender traffic never materializes a link
+        #: entry (matching the uncached behaviour).
+        self._routes: Dict[Tuple[str, str], list] = {}
+        #: Free list of delivered messages awaiting reuse, plus counters for
+        #: the pool tests; ``pool_debug`` adds aliasing assertions.
+        self._msg_pool: List[Message] = []
+        self.pool_created = 0
+        self.pool_reused = 0
+        self.pool_recycled = 0
+        self.pool_debug = False
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self._sync_topology()
+
+    def _sync_topology(self) -> None:
+        """Refresh everything cached off the topology (see ``_version``)."""
+        topology = self.topology
+        self._routes.clear()
+        self._jitter_fraction = topology.jitter_fraction
+        self._rand = topology._rng.random
+        self._topo_version = topology._version
 
     # -- membership ------------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -190,9 +229,11 @@ class Network:
         if node.name in self._nodes:
             raise ValueError(f"node name already registered: {node.name}")
         self._nodes[node.name] = node
+        self._routes.clear()
 
     def unregister(self, name: str) -> None:
         self._nodes.pop(name, None)
+        self._routes.clear()
 
     def node(self, name: str) -> "Node":
         return self._nodes[name]
@@ -259,6 +300,123 @@ class Network:
         return extra
 
     # -- traffic -----------------------------------------------------------
+    def _route(self, src: str, dst: str) -> list:
+        """Build and cache the route entry for one (src, dst) pair.
+
+        The jitter-free base delay is precomputed with exactly the
+        arithmetic of :meth:`Topology.one_way` (loopback or RTT halved);
+        stats start as ``None`` and are created on first charge; the byte
+        cells alias :attr:`_node_cells` (``None`` dst cell for self-sends,
+        which charge the endpoint once).
+        """
+        nodes = self._nodes
+        src_node = nodes.get(src)
+        if src_node is None:
+            raise KeyError(f"unknown source node: {src}")
+        dst_node = nodes.get(dst)
+        if dst_node is None:
+            raise KeyError(f"unknown destination node: {dst}")
+        topology = self.topology
+        src_host = src_node.host
+        same_host = (src_host is not None
+                     and src_host == dst_node.host) or src == dst
+        if same_host:
+            base = topology.loopback_rtt_ms / 2.0
+        else:
+            base = topology.rtt(src_node.region, dst_node.region) / 2.0
+        cells = self._node_cells
+        src_cell = cells.get(src)
+        if src_cell is None:
+            src_cell = cells[src] = [0]
+        if dst == src:
+            dst_cell = None
+        else:
+            dst_cell = cells.get(dst)
+            if dst_cell is None:
+                dst_cell = cells[dst] = [0]
+        route = [src_node, dst_node, self._links.get((src, dst)), base,
+                 src_cell, dst_cell]
+        self._routes[(src, dst)] = route
+        return route
+
+    def _prepare(self, src: str, dst: str, kind: str,
+                 payload: Optional[Dict[str, Any]],
+                 size_bytes: Optional[int]
+                 ) -> Tuple[Optional[float], Message, "Node"]:
+        """Account one send; returns ``(delay_ms | None, message, dst_node)``.
+
+        A ``None`` delay means the message was dropped (dead endpoint or
+        partition) and must not be scheduled for delivery.  This is the
+        hottest function in the simulator; everything it touches per call is
+        either a local, a cached route field, or a plain counter.
+        """
+        if self.topology._version != self._topo_version:
+            self._sync_topology()
+        route = self._routes.get((src, dst))
+        if route is None:
+            route = self._route(src, dst)
+        src_node, dst_node, stats, base, src_cell, dst_cell = route
+        # Inline message acquire: reuse a recycled shell when one is free.
+        pool = self._msg_pool
+        if pool:
+            message = pool.pop()
+            if self.pool_debug:
+                # 2 = this local + getrefcount's argument: a pooled message
+                # referenced by anything else would alias live state.
+                assert sys.getrefcount(message) == 2, \
+                    "message pool recycled an object that is still referenced"
+            self.pool_reused += 1
+            message.src = src
+            message.dst = dst
+            message.kind = kind
+            message.payload = payload if payload is not None else {}
+            message.msg_id = next(_message_ids)
+            message.send_time = self._clock._now
+            if size_bytes is None or size_bytes <= 0:
+                size_bytes = MESSAGE_HEADER_BYTES + estimate_payload_size(
+                    message.payload)
+            message.size_bytes = size_bytes
+        else:
+            self.pool_created += 1
+            message = Message(src, dst, kind, payload, size_bytes,
+                              send_time=self._clock._now)
+            size_bytes = message.size_bytes
+        if not src_node.alive:
+            self.messages_dropped += 1
+            return None, message, dst_node
+        self.messages_sent += 1
+        if stats is None:
+            stats = self._links.get((src, dst))
+            if stats is None:
+                stats = self._links[(src, dst)] = LinkStats()
+            route[2] = stats
+        stats.messages += 1
+        stats.bytes += size_bytes
+        src_cell[0] += size_bytes
+        if dst_cell is not None:
+            dst_cell[0] += size_bytes
+
+        # Zero-fault fast path: with no partitions installed the check is
+        # two falsy tests, no frozenset allocation.
+        if self._partitioned or self._partitioned_regions:
+            if self.is_partitioned(src, dst):
+                self.messages_dropped += 1
+                return None, message, dst_node
+        if not dst_node.alive:
+            self.messages_dropped += 1
+            return None, message, dst_node
+
+        # Inline Topology.one_way over the cached base: uniform(0, jf) is
+        # exactly jf * random(), so the delay sample is bit-identical.
+        jitter_fraction = self._jitter_fraction
+        if jitter_fraction > 0:
+            delay = base + jitter_fraction * self._rand() * base
+        else:
+            delay = base
+        if self._link_extra_ms:
+            delay += self.link_extra_ms(src, dst)
+        return delay, message, dst_node
+
     def send(self, src: str, dst: str, kind: str,
              payload: Optional[Dict[str, Any]] = None,
              size_bytes: Optional[int] = None,
@@ -270,59 +428,80 @@ class Network:
         sender*, however, sends nothing at all: work still queued on a
         crashed node must not leak protocol messages (or bytes) out of it.
         """
-        nodes = self._nodes
-        src_node = nodes.get(src)
-        if src_node is None:
-            raise KeyError(f"unknown source node: {src}")
-        dst_node = nodes.get(dst)
-        if dst_node is None:
-            raise KeyError(f"unknown destination node: {dst}")
-        message = Message(src, dst, kind, payload, size_bytes,
-                          send_time=self.scheduler.clock._now)
-        if not src_node.alive:
-            self.messages_dropped += 1
-            return message
-        self.messages_sent += 1
-        size = message.size_bytes
-        key = (src, dst)
-        stats = self._links.get(key)
-        if stats is None:
-            stats = self._links[key] = LinkStats()
-        stats.messages += 1
-        stats.bytes += size
-        node_bytes = self._node_bytes
-        node_bytes[src] = node_bytes.get(src, 0) + size
-        if dst != src:
-            node_bytes[dst] = node_bytes.get(dst, 0) + size
-
-        # Zero-fault fast path: with no partitions installed the check is
-        # two falsy tests, no frozenset allocation.
-        if self._partitioned or self._partitioned_regions:
-            if self.is_partitioned(src, dst):
-                self.messages_dropped += 1
-                return message
-        if not dst_node.alive:
-            self.messages_dropped += 1
-            return message
-
-        src_host = src_node.host
-        same_host = (src_host is not None
-                     and src_host == dst_node.host) or src == dst
-        delay = self.topology.one_way(src_node.region, dst_node.region,
-                                      same_host=same_host)
-        if self._link_extra_ms:
-            delay += self.link_extra_ms(src, dst)
-        self.scheduler.schedule_call(delay + extra_delay_ms,
-                                     self._deliver, (message,))
+        delay, message, dst_node = self._prepare(src, dst, kind, payload,
+                                                 size_bytes)
+        if delay is not None:
+            self.scheduler.schedule_call(delay + extra_delay_ms,
+                                         self._deliver, (message, dst_node))
         return message
 
-    def _deliver(self, message: Message) -> None:
-        node = self._nodes.get(message.dst)
-        if node is None or not node.alive:
+    def send_many(self, src: str,
+                  sends: Sequence[Tuple[str, str,
+                                        Optional[Dict[str, Any]],
+                                        Optional[int]]]) -> List[Message]:
+        """Fan a burst of ``(dst, kind, payload, size_bytes)`` out of ``src``.
+
+        Equivalent to calling :meth:`send` once per tuple in order — same
+        jitter draws, message ids and accounting — but consecutive
+        deliveries landing at the same instant go to the scheduler as one
+        batched heap entry.  The multi-replica fan-outs (quorum reads, write
+        replication) send through this.
+        """
+        scheduler = self.scheduler
+        now = self._clock._now
+        deliver = self._deliver
+        messages: List[Message] = []
+        batch: list = []
+        batch_time = 0.0
+        for dst, kind, payload, size_bytes in sends:
+            delay, message, dst_node = self._prepare(src, dst, kind, payload,
+                                                     size_bytes)
+            messages.append(message)
+            if delay is None:
+                continue
+            at = now + delay
+            if batch and at != batch_time:
+                scheduler.schedule_batch_at(batch_time, batch)
+                batch = []
+            batch_time = at
+            batch.append((deliver, (message, dst_node)))
+        if batch:
+            scheduler.schedule_batch_at(batch_time, batch)
+        return messages
+
+    def _deliver(self, message: Message, node: "Node") -> None:
+        # The destination node object is captured at send time (nodes are
+        # never unregistered mid-run — they crash, which flips ``alive``).
+        if node.alive:
+            self.messages_delivered += 1
+            # Dispatch through the node's handler cache directly;
+            # handle_message fills the cache on the first message of a kind
+            # (and raises for unknown kinds).
+            handler = node._handler_cache.get(message.kind)
+            if handler is not None:
+                handler(message)
+            else:
+                node.handle_message(message)
+        else:
             self.messages_dropped += 1
-            return
-        self.messages_delivered += 1
-        node.handle_message(message)
+        # Recycle if nothing kept a reference: 3 = the scheduler entry's args
+        # tuple + this local + getrefcount's argument.  Tests (or sessions)
+        # that hold the message raise the count and opt out automatically.
+        pool = self._msg_pool
+        if len(pool) < _MESSAGE_POOL_MAX and sys.getrefcount(message) == 3:
+            if self.pool_debug:
+                assert all(pooled is not message for pooled in pool), \
+                    "message recycled twice"
+            self.pool_recycled += 1
+            message.payload = None
+            pool.append(message)
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Message-pool counters (created / reused / recycled / free)."""
+        return {"created": self.pool_created,
+                "reused": self.pool_reused,
+                "recycled": self.pool_recycled,
+                "free": len(self._msg_pool)}
 
     # -- accounting --------------------------------------------------------
     def _link(self, src: str, dst: str) -> LinkStats:
@@ -348,7 +527,8 @@ class Network:
 
     def bytes_touching(self, name: str) -> int:
         """Total bytes on every link where ``name`` is an endpoint."""
-        return self._node_bytes.get(name, 0)
+        cell = self._node_cells.get(name)
+        return cell[0] if cell is not None else 0
 
     def total_bytes(self) -> int:
         return sum(stats.bytes for stats in self._links.values())
@@ -356,7 +536,10 @@ class Network:
     def reset_stats(self) -> None:
         """Clear byte counters (used to scope measurement windows)."""
         self._links.clear()
-        self._node_bytes.clear()
+        # Cached routes hold LinkStats references and byte cells; drop them
+        # so post-reset traffic charges fresh counters.
+        self._routes.clear()
+        self._node_cells.clear()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0

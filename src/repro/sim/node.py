@@ -101,8 +101,20 @@ class Node:
         """Send a message to another node."""
         return self.network.send(self.name, dst, kind, payload, size_bytes)
 
+    def send_many(self, sends) -> list:
+        """Fan a burst of ``(dst, kind, payload, size_bytes)`` tuples out.
+
+        Equivalent to :meth:`send` per tuple, but same-instant deliveries
+        share one batched scheduler entry (the replica fan-out fast path).
+        """
+        return self.network.send_many(self.name, sends)
+
     def handle_message(self, message: Message) -> None:
-        """Dispatch an incoming message to ``on_<kind>`` if defined."""
+        """Dispatch an incoming message to ``on_<kind>`` if defined.
+
+        The network delivers through :attr:`_handler_cache` directly once a
+        kind has been resolved here, so dispatch work is paid once per kind.
+        """
         kind = message.kind
         handler = self._handler_cache.get(kind)
         if handler is None:
@@ -119,9 +131,26 @@ class Node:
     def process(self, fn: Callable[..., Any], *args: Any,
                 service_time_ms: Optional[float] = None,
                 **kwargs: Any) -> float:
-        """Run ``fn`` after this node's processing queue serves the job."""
+        """Run ``fn`` after this node's processing queue serves the job.
+
+        Inlines :meth:`ProcessingQueue.submit` — every handled message goes
+        through here, and the extra call layer is measurable.
+        """
         cost = self.service_time_ms if service_time_ms is None else service_time_ms
-        return self.queue.submit(cost * self.slowdown_factor, fn, *args, **kwargs)
+        cost *= self.slowdown_factor
+        if cost < 0:
+            raise ValueError("service time must be non-negative")
+        queue = self.queue
+        scheduler = queue._scheduler
+        now = scheduler.clock._now
+        busy = queue._busy_until
+        start = now if now > busy else busy
+        finish = start + cost
+        queue._busy_until = finish
+        queue.jobs_processed += 1
+        queue.busy_time += cost
+        scheduler.schedule_call_at(finish, fn, args, kwargs or None)
+        return finish
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r}, region={self.region!r})"

@@ -4,33 +4,51 @@ Events are callbacks ordered by (time, sequence-number).  The sequence number
 makes execution order deterministic for events scheduled at the same instant,
 which in turn makes every experiment in :mod:`repro.bench` reproducible.
 
-The heap stores plain ``(time, seq, fn, args, kwargs, event)`` tuples so
+The heap stores plain ``(time, seq, fn, args, kwargs, marker)`` tuples so
 ordering is decided by C-level tuple comparison on the first two fields
-(``seq`` is unique, so nothing beyond it is ever compared).  Two write paths
-feed it:
+(``seq`` is unique, so nothing beyond it is ever compared).  Three write
+paths feed it:
 
 * :meth:`Scheduler.schedule` / :meth:`Scheduler.schedule_at` return an
-  :class:`Event` handle so callers can cancel pending work (timeouts);
+  :class:`Event` handle (stored in the marker slot) so callers can cancel
+  pending work (timeouts);
 * :meth:`Scheduler.schedule_call` / :meth:`Scheduler.schedule_call_at` are
   the fire-and-forget fast path — no handle, no kwargs mapping, and no
   per-event object allocation.  Message deliveries and processing-queue
-  jobs (the dominant event classes) use it.
+  jobs (the dominant event classes) use it;
+* :meth:`Scheduler.schedule_batch_at` coalesces same-timestamp callbacks
+  (a coordinator's multi-replica fan-out) into **one** heap entry holding
+  the whole batch, drained in order by :meth:`run`.  The batch occupies
+  consecutive sequence numbers, each callback still executes — and is
+  traced — as its own event, so execution order, event counts, and golden
+  ``(time, seq)`` traces are identical to individual pushes; only the heap
+  traffic is amortized.
 
-Cancelled events are skipped when popped and additionally purged in bulk
-once they outnumber live entries, so long fault runs with many abandoned
-timeouts do not grow the heap unboundedly.
+Live-event accounting is incremental: scheduling increments a live counter,
+execution and cancellation decrement it, so ``pending(live_only=True)`` —
+the runner idle check — is O(1) with no heap scan.  Cancelled entries are
+additionally purged in bulk once they outnumber live ones (amortized O(1)
+per cancellation), so long fault runs with many abandoned timeouts do not
+grow the heap unboundedly.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 from repro.sim.clock import Clock
 
 #: Lazy-purge trigger: compact the heap once at least this many cancelled
 #: events are queued *and* they outnumber the live ones.
 _PURGE_THRESHOLD = 512
+
+#: Marker-slot sentinel distinguishing a batch entry from an Event handle.
+_BATCH = object()
+
+_INFINITY = float("inf")
+_NO_CAP = 1 << 62
 
 
 class Event:
@@ -69,11 +87,17 @@ class Scheduler:
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._heap: list = []  # (time, seq, fn, args, kwargs|None, Event|None)
+        self._heap: list = []  # (time, seq, fn, args, kwargs|None, marker)
         self._seq = 0
         self._events_executed = 0
         self._cancelled = 0
+        self._live = 0
         self._trace: Optional[list] = None
+        #: Test/debug switch: ``False`` makes :meth:`schedule_batch_at` push
+        #: individual entries instead of one batch entry.  Same sequence
+        #: numbers, same execution order, same traces — the determinism
+        #: tests run both ways to prove it.
+        self.batch_dispatch = True
 
     @property
     def events_executed(self) -> int:
@@ -85,15 +109,17 @@ class Scheduler:
         return self.clock._now
 
     def pending(self, live_only: bool = False) -> int:
-        """Number of events still queued.
+        """Number of callbacks still queued.
 
         By default this counts cancelled-but-unpopped entries too (they
         still occupy heap slots); ``live_only=True`` reports only the events
-        that will actually execute.
+        that will actually execute.  Both are O(1): the counters are
+        maintained incrementally by scheduling, cancellation, and execution
+        (batch entries count every callback they carry).
         """
         if live_only:
-            return len(self._heap) - self._cancelled
-        return len(self._heap)
+            return self._live
+        return self._live + self._cancelled
 
     # -- tracing (determinism fingerprints) --------------------------------
     def start_trace(self) -> list:
@@ -119,6 +145,7 @@ class Scheduler:
         timestamp = self.clock._now + delay
         seq = self._seq
         self._seq = seq + 1
+        self._live += 1
         event = Event(timestamp, seq, self)
         heapq.heappush(self._heap,
                        (timestamp, seq, fn, args, kwargs or None, event))
@@ -133,6 +160,7 @@ class Scheduler:
             )
         seq = self._seq
         self._seq = seq + 1
+        self._live += 1
         event = Event(timestamp, seq, self)
         heapq.heappush(self._heap,
                        (timestamp, seq, fn, args, kwargs or None, event))
@@ -147,6 +175,7 @@ class Scheduler:
             raise ValueError(f"delay must be non-negative, got {delay}")
         seq = self._seq
         self._seq = seq + 1
+        self._live += 1
         heapq.heappush(self._heap,
                        (self.clock._now + delay, seq, fn, args, None, None))
 
@@ -160,8 +189,41 @@ class Scheduler:
             )
         seq = self._seq
         self._seq = seq + 1
+        self._live += 1
         heapq.heappush(self._heap,
                        (timestamp, seq, fn, args, kwargs or None, None))
+
+    def schedule_batch_at(self, timestamp: float,
+                          calls: Sequence[Tuple[Callable[..., Any], tuple]]
+                          ) -> None:
+        """Fire-and-forget batch: every ``(fn, args)`` runs at ``timestamp``.
+
+        The batch takes consecutive sequence numbers in list order and is
+        stored as **one** heap entry; :meth:`run` drains it callback by
+        callback, tracing and counting each as its own event.  Equivalent to
+        ``schedule_call_at`` per call in every observable way (use it for
+        same-instant fan-outs, e.g. a write coordinator's replica
+        broadcast), but with a single heap push/pop for the whole group.
+        """
+        count = len(calls)
+        if count == 0:
+            return
+        if timestamp < self.clock._now:
+            raise ValueError(
+                f"cannot schedule in the past: {timestamp} < {self.now()}"
+            )
+        seq = self._seq
+        heap = self._heap
+        if count == 1 or not self.batch_dispatch:
+            for fn, args in calls:
+                heapq.heappush(heap, (timestamp, seq, fn, args, None, None))
+                seq += 1
+        else:
+            heapq.heappush(heap,
+                           (timestamp, seq, None, tuple(calls), None, _BATCH))
+            seq += count
+        self._seq = seq
+        self._live += count
 
     def call_soon(self, fn: Callable[..., Any], *args: Any,
                   **kwargs: Any) -> Event:
@@ -171,13 +233,16 @@ class Scheduler:
     # -- cancellation bookkeeping ------------------------------------------
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel`; compacts the heap when cancelled
-        entries dominate, so abandoned timeouts cannot grow it unboundedly."""
+        entries dominate (amortized O(1) per cancellation), so abandoned
+        timeouts cannot grow it unboundedly."""
+        self._live -= 1
         self._cancelled += 1
         if (self._cancelled >= _PURGE_THRESHOLD
                 and self._cancelled * 2 > len(self._heap)):
             # In place: the run() loop holds a reference to this list.
             self._heap[:] = [entry for entry in self._heap
-                             if entry[5] is None or not entry[5].cancelled]
+                             if entry[5] is None or entry[5] is _BATCH
+                             or not entry[5].cancelled]
             heapq.heapify(self._heap)
             self._cancelled = 0
 
@@ -185,21 +250,28 @@ class Scheduler:
     def step(self) -> bool:
         """Run the next pending event.
 
+        A batch entry executes as a unit: all its callbacks run (each
+        counted and traced individually) before ``step`` returns.
+
         Returns:
             True if an event was executed, False if the queue was empty.
         """
         while self._heap:
             entry = heapq.heappop(self._heap)
-            event = entry[5]
-            if event is not None:
-                if event.cancelled:
+            marker = entry[5]
+            if marker is not None and marker is not _BATCH:
+                if marker.cancelled:
                     self._cancelled -= 1
                     continue
                 # Detach: a late cancel() on an already-fired event must not
                 # perturb the cancelled-entry bookkeeping.
-                event._scheduler = None
+                marker._scheduler = None
             self.clock.advance_to(entry[0])
+            if marker is _BATCH:
+                self._run_batch(entry)
+                return True
             self._events_executed += 1
+            self._live -= 1
             if self._trace is not None:
                 self._trace.append((entry[0], entry[1]))
             kwargs = entry[4]
@@ -210,53 +282,99 @@ class Scheduler:
             return True
         return False
 
+    def _run_batch(self, entry: tuple) -> None:
+        """Drain one batch entry: every callback is its own traced event."""
+        timestamp, first_seq = entry[0], entry[1]
+        calls = entry[3]
+        count = len(calls)
+        trace = self._trace
+        if trace is not None:
+            trace.extend((timestamp, first_seq + i) for i in range(count))
+        self._events_executed += count
+        self._live -= count
+        for fn, args in calls:
+            fn(*args)
+
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` have been executed.
 
         ``until`` is an absolute simulated time; events scheduled strictly
-        after it remain queued and the clock stops at ``until``.
+        after it remain queued and the clock stops at ``until``.  A batch
+        entry whose turn comes with fewer than ``len(batch)`` events of
+        budget left still executes whole (``max_events`` is a runaway
+        guard, not an exact quota).
         """
         heap = self._heap
         clock = self.clock
         trace = self._trace
         pop = heapq.heappop
-        bounded = until is not None or max_events is not None
+        limit = _INFINITY if until is None else until
+        cap = _NO_CAP if max_events is None else max_events
         executed = 0
-        while heap:
-            entry = pop(heap)
-            event = entry[5]
-            if event is not None and event.cancelled:
-                self._cancelled -= 1
-                continue
-            if bounded:
-                if until is not None and entry[0] > until:
+        consumed = 0
+        # Steady-state event execution allocates almost nothing that the
+        # cyclic collector can reclaim (messages and per-op records are
+        # pooled, everything else dies by refcount), so generational GC scans
+        # during the drain are pure overhead.  Suspend it for the duration;
+        # any cycles produced are collected when the caller's next enabled
+        # collection runs.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                entry = pop(heap)
+                marker = entry[5]
+                if marker is not None and marker is not _BATCH:
+                    if marker.cancelled:
+                        self._cancelled -= 1
+                        continue
+                timestamp = entry[0]
+                if timestamp > limit:
                     heapq.heappush(heap, entry)
                     clock.advance_to(until)
                     return
-                if max_events is not None and executed >= max_events:
+                if executed >= cap:
                     heapq.heappush(heap, entry)
                     return
-            if event is not None:
-                # Detach: a late cancel() on an already-fired event must not
-                # perturb the cancelled-entry bookkeeping.
-                event._scheduler = None
-            # The heap pops in nondecreasing time order, so this direct
-            # assignment cannot move the clock backwards (Clock.advance_to
-            # enforces the same invariant with a per-event method call).
-            clock._now = float(entry[0])
-            self._events_executed += 1
-            executed += 1
-            if trace is not None:
-                trace.append((entry[0], entry[1]))
-            kwargs = entry[4]
-            if kwargs:
-                entry[2](*entry[3], **kwargs)
-            else:
-                entry[2](*entry[3])
-        if until is not None and until > clock._now:
-            clock.advance_to(until)
+                # The heap pops in nondecreasing time order, so this direct
+                # assignment cannot move the clock backwards (Clock.advance_to
+                # enforces the same invariant with a per-event method call).
+                clock._now = timestamp
+                if marker is not None:
+                    if marker is _BATCH:
+                        calls = entry[3]
+                        count = len(calls)
+                        if trace is not None:
+                            first_seq = entry[1]
+                            trace.extend((timestamp, first_seq + i)
+                                         for i in range(count))
+                        executed += count
+                        consumed += count
+                        for fn, args in calls:
+                            fn(*args)
+                        continue
+                    # Detach: a late cancel() on an already-fired event must
+                    # not perturb the cancelled-entry bookkeeping.
+                    marker._scheduler = None
+                executed += 1
+                consumed += 1
+                if trace is not None:
+                    trace.append((timestamp, entry[1]))
+                kwargs = entry[4]
+                if kwargs:
+                    entry[2](*entry[3], **kwargs)
+                else:
+                    entry[2](*entry[3])
+            if until is not None and until > clock._now:
+                clock.advance_to(until)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._events_executed += executed
+            self._live -= consumed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain.  Guards against runaway simulations."""

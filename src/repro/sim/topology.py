@@ -66,6 +66,10 @@ class Topology:
         #: ``frozenset`` per message on the send hot path.  Invalidated by
         #: :meth:`set_rtt` and by assigning :attr:`intra_region_rtt_ms`.
         self._one_way_base: Dict[Tuple[str, str], float] = {}
+        #: Bumped whenever any configured latency changes; the network's
+        #: per-(src, dst) route cache compares this to drop stale base
+        #: delays without the topology knowing who caches them.
+        self._version = 0
         self.intra_region_rtt_ms = intra_region_rtt_ms
         self.loopback_rtt_ms = loopback_rtt_ms
         self.jitter_fraction = jitter_fraction
@@ -80,6 +84,27 @@ class Topology:
     def intra_region_rtt_ms(self, value: float) -> None:
         self._intra_region_rtt_ms = value
         self._one_way_base.clear()
+        self._version += 1
+
+    @property
+    def loopback_rtt_ms(self) -> float:
+        """RTT between two processes colocated on the same host."""
+        return self._loopback_rtt_ms
+
+    @loopback_rtt_ms.setter
+    def loopback_rtt_ms(self, value: float) -> None:
+        self._loopback_rtt_ms = value
+        self._version += 1
+
+    @property
+    def jitter_fraction(self) -> float:
+        """Upper bound of the uniform jitter applied to one-way delays."""
+        return self._jitter_fraction
+
+    @jitter_fraction.setter
+    def jitter_fraction(self, value: float) -> None:
+        self._jitter_fraction = value
+        self._version += 1
 
     def set_rtt(self, region_a: str, region_b: str, rtt_ms: float) -> None:
         """Override the RTT between two regions."""
@@ -87,6 +112,7 @@ class Topology:
             raise ValueError("use intra_region_rtt_ms for same-region RTT")
         self._rtts[frozenset({region_a, region_b})] = float(rtt_ms)
         self._one_way_base.clear()
+        self._version += 1
 
     def rtt(self, region_a: str, region_b: str) -> float:
         """Baseline (jitter-free) round-trip time between two regions."""

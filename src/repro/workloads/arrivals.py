@@ -26,8 +26,15 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.workloads import fastrand
+
 #: Names understood by :func:`make_arrival_process`.
 ARRIVAL_KINDS = ("uniform", "poisson", "burst")
+
+#: Per-draw gaps before a Poisson process auto-engages chunked precompute.
+_AUTO_CHUNK_AFTER = 192
+_CHUNK_MIN = 128
+_CHUNK_MAX = 4096
 
 
 class ArrivalProcess:
@@ -56,7 +63,12 @@ class UniformArrivals(ArrivalProcess):
 
 
 class PoissonArrivals(ArrivalProcess):
-    """Exponentially distributed gaps with mean ``1000 / rate_ops_s`` ms."""
+    """Exponentially distributed gaps with mean ``1000 / rate_ops_s`` ms.
+
+    High-volume processes precompute gap chunks through the
+    :mod:`repro.workloads.fastrand` seam — same ``expovariate`` sequence
+    bit-for-bit, amortized; short-lived processes stay per-draw.
+    """
 
     def __init__(self, rate_ops_s: float, rng: random.Random) -> None:
         if rate_ops_s <= 0:
@@ -64,9 +76,42 @@ class PoissonArrivals(ArrivalProcess):
         self.rate_ops_s = rate_ops_s
         self._rate_per_ms = rate_ops_s / 1000.0
         self._rng = rng
+        self._buf: List[float] = []
+        self._pos = 0
+        self._chunk = _CHUNK_MIN
+        self._draws = 0
+        self._stream = None
 
     def next_gap_ms(self) -> float:
-        return self._rng.expovariate(self._rate_per_ms)
+        pos = self._pos
+        buf = self._buf
+        if pos < len(buf):
+            self._pos = pos + 1
+            return buf[pos]
+        if self._stream is None:
+            if self._draws < _AUTO_CHUNK_AFTER:
+                self._draws += 1
+                return self._rng.expovariate(self._rate_per_ms)
+            self._stream = fastrand.make_stream(self._rng)
+        self._buf = buf = fastrand.exponential_gaps(
+            self._stream, self._chunk, self._rate_per_ms)
+        if self._chunk < _CHUNK_MAX:
+            self._chunk *= 2
+        self._pos = 1
+        return buf[0]
+
+    def prefill(self, n: int) -> int:
+        """Precompute the next ``n`` gaps (open-loop runners batch these)."""
+        if self._stream is None:
+            self._stream = fastrand.make_stream(self._rng)
+        if self._pos:
+            self._buf = self._buf[self._pos:]
+            self._pos = 0
+        need = n - len(self._buf)
+        if need > 0:
+            self._buf.extend(fastrand.exponential_gaps(
+                self._stream, need, self._rate_per_ms))
+        return len(self._buf)
 
 
 class BurstArrivals(ArrivalProcess):

@@ -29,6 +29,10 @@ from typing import Optional
 class UniformKeyChooser:
     """Uniformly random record indices in ``[0, record_count)``."""
 
+    #: Vectorized draw pattern (see ``OperationGenerator.prefill``):
+    #: ``randrange`` consumes a data-dependent number of MT words per draw.
+    vector_kind = "words"
+
     def __init__(self, record_count: int, rng: random.Random) -> None:
         if record_count <= 0:
             raise ValueError("record_count must be positive")
@@ -37,6 +41,16 @@ class UniformKeyChooser:
 
     def next_index(self) -> int:
         return self._rng.randrange(self.record_count)
+
+    def indices_from_stream(self, stream, n: int) -> list:
+        """``n`` indices drawn exactly like ``next_index`` from ``stream``.
+
+        ``Random.randrange(upper)`` draws ``upper.bit_length()`` bits and
+        rejects values >= upper; the stream reproduces that word pattern.
+        """
+        acc = stream.accepted(n, self.record_count.bit_length(),
+                              self.record_count)
+        return acc.tolist() if hasattr(acc, "tolist") else list(acc)
 
     def notify_insert(self, index: int) -> None:  # pragma: no cover - no-op
         """Uniform choice does not depend on recency."""
@@ -81,6 +95,9 @@ class ZipfianKeyChooser:
     def _zeta(n: int, theta: float) -> float:
         return sum(1.0 / (i ** theta) for i in range(1, n + 1))
 
+    #: One ``random()`` double per draw — the pattern ``prefill`` vectorizes.
+    vector_kind = "doubles"
+
     def next_index(self) -> int:
         u = self._rng.random()
         uz = u * self._zetan
@@ -92,12 +109,43 @@ class ZipfianKeyChooser:
                     (self._eta * u - self._eta + 1) ** self._alpha)
         return min(index, self.record_count - 1)
 
+    def indices_from_doubles(self, us) -> list:
+        """Map uniform draws to indices exactly as ``next_index`` does.
+
+        The transform stays scalar Python on purpose: numpy's SIMD ``pow``
+        differs from libm by 1 ulp on some inputs, which could flip a
+        truncated index and desync seeded experiments (see
+        :mod:`repro.workloads.fastrand`).
+        """
+        zetan = self._zetan
+        eta = self._eta
+        alpha = self._alpha
+        rc = self.record_count
+        half = 1.0 + 0.5 ** self.theta
+        nm1 = rc - 1
+        second = 1 if rc > 1 else 0
+        out = []
+        append = out.append
+        for u in us:
+            uz = u * zetan
+            if uz < 1.0:
+                append(0)
+            elif uz < half:
+                append(second)
+            else:
+                index = int(rc * (eta * u - eta + 1) ** alpha)
+                append(index if index < nm1 else nm1)
+        return out
+
     def notify_insert(self, index: int) -> None:  # pragma: no cover - no-op
         """Plain Zipfian popularity ignores recency."""
 
 
 class ScrambledZipfianKeyChooser:
     """Zipfian popularity spread over the key space by hashing."""
+
+    #: Consumes exactly the underlying Zipfian's one double per draw.
+    vector_kind = "doubles"
 
     def __init__(self, record_count: int, rng: random.Random,
                  theta: Optional[float] = None) -> None:
@@ -108,6 +156,14 @@ class ScrambledZipfianKeyChooser:
         raw = self._zipfian.next_index()
         digest = hashlib.md5(str(raw).encode("utf-8")).digest()
         return int.from_bytes(digest[:8], "big") % self.record_count
+
+    def indices_from_doubles(self, us) -> list:
+        rc = self.record_count
+        md5 = hashlib.md5
+        from_bytes = int.from_bytes
+        return [from_bytes(md5(str(raw).encode("utf-8")).digest()[:8],
+                           "big") % rc
+                for raw in self._zipfian.indices_from_doubles(us)]
 
     def notify_insert(self, index: int) -> None:  # pragma: no cover - no-op
         """Scrambled Zipfian ignores recency."""
@@ -120,6 +176,10 @@ class LatestKeyChooser:
     newest records are the hottest — the workload that maximizes the chance
     of reading a key while its latest write is still propagating.
     """
+
+    #: Stateful (``notify_insert`` moves the anchor mid-stream): draws can
+    #: not be precomputed, so generators keep the per-draw path.
+    vector_kind = None
 
     def __init__(self, record_count: int, rng: random.Random,
                  theta: Optional[float] = None) -> None:

@@ -9,11 +9,21 @@ from __future__ import annotations
 
 import random
 import string
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.workloads import fastrand
 
 _PRINTABLE = string.ascii_letters + string.digits
 _PRINTABLE_LEN = len(_PRINTABLE)          # 62
 _PRINTABLE_BITS = _PRINTABLE_LEN.bit_length()  # 6
+
+#: Value chunks ramp 16 → 256 so short runs waste few precomputed values
+#: while long runs amortize the chunk overhead.
+_VALUE_CHUNK_MAX = 256
+
+#: Key-string caching is capped so million-key datasets don't pin ~60 MB of
+#: interned key strings; above the cap keys are formatted on demand.
+_KEY_CACHE_MAX = 1 << 18
 
 
 def make_value(rng: random.Random, size_bytes: int = 100) -> str:
@@ -54,6 +64,11 @@ class Dataset:
         self.value_size_bytes = value_size_bytes
         self.key_prefix = key_prefix
         self._rng = random.Random(seed)
+        self._value_stream: Optional[fastrand.Stream] = None
+        self._value_buf: List[str] = []
+        self._value_pos = 0
+        self._value_chunk = 16
+        self._key_cache: Optional[List[str]] = None
 
     def key(self, index: int) -> str:
         """The key of record ``index``."""
@@ -63,6 +78,20 @@ class Dataset:
 
     def keys(self) -> List[str]:
         return [self.key(i) for i in range(self.record_count)]
+
+    def cached_keys(self) -> Optional[List[str]]:
+        """All key strings, cached for hot-path lookups by index.
+
+        Returns ``None`` above ``_KEY_CACHE_MAX`` records (million-key
+        datasets format keys on demand instead of pinning the strings).
+        """
+        if self.record_count > _KEY_CACHE_MAX:
+            return None
+        if self._key_cache is None:
+            prefix = self.key_prefix
+            self._key_cache = [f"{prefix}{i}"
+                               for i in range(self.record_count)]
+        return self._key_cache
 
     def initial_value(self, index: int) -> str:
         """A deterministic initial value for record ``index``."""
@@ -75,5 +104,32 @@ class Dataset:
                 for i in range(self.record_count)}
 
     def random_value(self) -> str:
-        """A fresh value for an update operation."""
-        return make_value(self._rng, self.value_size_bytes)
+        """A fresh value for an update operation.
+
+        Values come from a chunked :mod:`repro.workloads.fastrand` stream
+        that reproduces the per-draw ``make_value`` sequence bit-for-bit
+        (same strings in the same order for a given seed); only the chunked
+        lookahead on the private value rng is new.
+        """
+        pos = self._value_pos
+        buf = self._value_buf
+        if pos < len(buf):
+            self._value_pos = pos + 1
+            return buf[pos]
+        return self._next_value_chunk()
+
+    def _next_value_chunk(self) -> str:
+        size = self.value_size_bytes
+        if size <= 0:
+            raise ValueError("value size must be positive")
+        stream = self._value_stream
+        if stream is None:
+            stream = self._value_stream = fastrand.make_stream(self._rng)
+        count = self._value_chunk
+        if count < _VALUE_CHUNK_MAX:
+            self._value_chunk = count * 2
+        blob = stream.chars(count * size, _PRINTABLE)
+        self._value_buf = buf = [blob[i:i + size]
+                                 for i in range(0, count * size, size)]
+        self._value_pos = 1
+        return buf[0]

@@ -66,6 +66,14 @@ class _ClientThread:
         self._done_cb = self._on_done  # bound once, reused every operation
 
     def start(self) -> None:
+        # Closed-loop threads live for the whole run: engage the generator's
+        # chunked prefill immediately instead of waiting out its per-draw
+        # auto-detection window (no-op for non-vectorizable distributions).
+        # Generators are duck-typed (fig13's queue-replay generator has no
+        # prefill), so probe rather than require it.
+        prefill = getattr(self.generator, "prefill", None)
+        if prefill is not None:
+            prefill(64)
         self._issue_next()
 
     def _issue_next(self) -> None:

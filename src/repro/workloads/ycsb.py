@@ -13,8 +13,17 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.sim.rand import derive_rng
+from repro.workloads import fastrand
 from repro.workloads.distributions import make_key_chooser
 from repro.workloads.records import Dataset
+
+#: Per-draw operations before a generator auto-engages chunked prefill.
+#: Short-lived generators (open-loop sessions issue tens of ops) never pay
+#: the stream-setup cost; closed-loop threads cross this within the warmup.
+_AUTO_CHUNK_AFTER = 192
+#: Prefill chunks ramp between these bounds as a generator keeps drawing.
+_CHUNK_MIN = 256
+_CHUNK_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -100,12 +109,20 @@ class OperationGenerator:
         self.spec = spec
         self.dataset = dataset
         self._rng = mix_rng if mix_rng is not None else rng
+        self._key_rng = key_rng if key_rng is not None else rng
         self._chooser = make_key_chooser(
             spec.request_distribution, dataset.record_count,
-            key_rng if key_rng is not None else rng,
-            theta=spec.zipf_theta)
+            self._key_rng, theta=spec.zipf_theta)
         self.reads_generated = 0
         self.updates_generated = 0
+        # Chunked prefill state: ops are packed as (index << 1) | is_update.
+        self._buf: list = []
+        self._buf_pos = 0
+        self._chunk = _CHUNK_MIN
+        self._plain_draws = 0
+        #: None = undecided, False = per-draw only, else (key, mix) streams.
+        self._streams = None
+        self._keys: Optional[list] = None
 
     @classmethod
     def seeded(cls, spec: WorkloadSpec, dataset: Dataset, seed: int,
@@ -121,7 +138,38 @@ class OperationGenerator:
                    mix_rng=derive_rng(seed, f"{label}:mix"))
 
     def next_operation(self) -> Tuple[str, str, Optional[str]]:
-        """Return ``(op_type, key, value)``; value is None for reads."""
+        """Return ``(op_type, key, value)``; value is None for reads.
+
+        Draws pop from a chunked buffer precomputed through the
+        :mod:`repro.workloads.fastrand` determinism seam whenever the
+        chooser supports it — the op stream (types, keys, values, counters)
+        is bit-identical to the per-draw path, only amortized.  Values are
+        resolved at pop time so the dataset's shared value stream keeps its
+        global order across generators.
+        """
+        pos = self._buf_pos
+        buf = self._buf
+        if pos < len(buf):
+            packed = buf[pos]
+            self._buf_pos = pos + 1
+            index = packed >> 1
+            keys = self._keys
+            key = keys[index] if keys is not None else self.dataset.key(index)
+            if packed & 1:
+                self.updates_generated += 1
+                return "update", key, self.dataset.random_value()
+            self.reads_generated += 1
+            return "read", key, None
+        streams = self._streams
+        if streams is None and self._plain_draws >= _AUTO_CHUNK_AFTER:
+            streams = self._setup_streams()
+        if streams:
+            self._buf = self._generate(self._chunk)
+            self._buf_pos = 0
+            if self._chunk < _CHUNK_MAX:
+                self._chunk *= 2
+            return self.next_operation()
+        self._plain_draws += 1
         index = self._chooser.next_index()
         key = self.dataset.key(index)
         if self._rng.random() < self.spec.read_proportion:
@@ -130,3 +178,70 @@ class OperationGenerator:
         self.updates_generated += 1
         self._chooser.notify_insert(index)
         return "update", key, self.dataset.random_value()
+
+    def prefill(self, n: int) -> int:
+        """Precompute the next ``n`` operations into the chunk buffer.
+
+        Returns how many operations are buffered afterwards; 0 means the
+        chooser cannot be vectorized (stateful distribution or an overridden
+        rng) and draws stay per-op — still bit-identical, just not batched.
+        """
+        if self._streams is None:
+            self._setup_streams()
+        if not self._streams:
+            return 0
+        if self._buf_pos:
+            self._buf = self._buf[self._buf_pos:]
+            self._buf_pos = 0
+        need = n - len(self._buf)
+        if need > 0:
+            self._buf.extend(self._generate(need))
+        return len(self._buf)
+
+    def _setup_streams(self):
+        """Decide (once) whether draws can flow through chunked streams."""
+        chooser = self._chooser
+        kind = getattr(chooser, "vector_kind", None)
+        shared = self._key_rng is self._rng
+        if kind is None or (shared and kind != "doubles"):
+            # Stateful chooser, or a shared rng whose key draws consume a
+            # data-dependent number of MT words (interleaving with the mix
+            # draws can then not be precomputed).
+            self._streams = False
+            return False
+        if shared:
+            stream = fastrand.make_stream(self._rng)
+            self._streams = (stream, stream)
+        else:
+            self._streams = (fastrand.make_stream(self._key_rng),
+                             fastrand.make_stream(self._rng))
+        self._keys = self.dataset.cached_keys()
+        return self._streams
+
+    def _generate(self, n: int) -> list:
+        """``n`` packed ops, consuming the streams exactly like per-draw."""
+        key_stream, mix_stream = self._streams
+        chooser = self._chooser
+        read_proportion = self.spec.read_proportion
+        if key_stream is mix_stream:
+            # Shared rng: per op the historical path draws one double for
+            # the key, then one for the mix — deinterleave a single block.
+            block = key_stream.doubles(2 * n)
+            indexes = chooser.indices_from_doubles(block[0::2])
+            mix = block[1::2]
+        else:
+            if chooser.vector_kind == "doubles":
+                indexes = chooser.indices_from_doubles(key_stream.doubles(n))
+            else:
+                indexes = chooser.indices_from_stream(key_stream, n)
+            mix = mix_stream.doubles(n)
+        return [(index << 1) | (u >= read_proportion)
+                for index, u in zip(indexes, mix)]
+
+    def sync_streams(self) -> None:
+        """Write stream state back into the source rngs (tests/debug)."""
+        if self._streams:
+            key_stream, mix_stream = self._streams
+            key_stream.sync()
+            if mix_stream is not key_stream:
+                mix_stream.sync()

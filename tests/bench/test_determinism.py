@@ -31,8 +31,13 @@ def _sha(parts: Iterable) -> str:
     return digest.hexdigest()
 
 
-def trace_fingerprint() -> Dict[str, object]:
-    """Event-trace + metrics fingerprint of a small closed-loop CC2 run."""
+def trace_fingerprint(batch_dispatch: bool = True) -> Dict[str, object]:
+    """Event-trace + metrics fingerprint of a small closed-loop CC2 run.
+
+    ``batch_dispatch=False`` forces every delivery onto an individual heap
+    entry; the fingerprint must be identical either way (batching is an
+    amortization of heap traffic, never a reordering).
+    """
     from repro.bench.common import (
         build_cassandra_scenario, cassandra_config_for, run_multi_region_load)
     from repro.sim.topology import Region
@@ -42,6 +47,7 @@ def trace_fingerprint() -> Dict[str, object]:
         seed=11, record_count=60,
         client_regions=(Region.IRL, Region.FRK),
         config=cassandra_config_for("CC2"))
+    scenario.env.scheduler.batch_dispatch = batch_dispatch
     trace = scenario.env.scheduler.start_trace()
     results = run_multi_region_load(
         scenario, "CC2", workload_by_name("A"), threads_per_client=2,
@@ -80,8 +86,45 @@ class TestDeterminism:
     def test_event_trace_matches_golden(self):
         assert trace_fingerprint() == _golden()["trace"]
 
+    def test_event_trace_matches_golden_with_batching_off(self):
+        """Per-entry dispatch reproduces the batched trace bit for bit."""
+        assert trace_fingerprint(batch_dispatch=False) == _golden()["trace"]
+
     def test_event_trace_is_repeatable(self):
         assert trace_fingerprint() == trace_fingerprint()
+
+    def test_pools_recycle_without_leaking(self):
+        """Every pooled object acquired during a run goes back to its pool.
+
+        Runs with the network pool's debug assertions armed (they fire on
+        recycling a still-referenced message or double-recycling), then
+        checks the counters: shells are actually reused, the free list only
+        ever holds created shells, and no ICG per-op record stays
+        outstanding once the run drains.
+        """
+        from repro.bench.common import (
+            _IcgReadOp, build_cassandra_scenario, cassandra_config_for,
+            run_multi_region_load)
+        from repro.sim.topology import Region
+        from repro.workloads.ycsb import workload_by_name
+
+        icg_before = _IcgReadOp.pool_stats()
+        outstanding_before = icg_before["created"] - icg_before["free"]
+        scenario = build_cassandra_scenario(
+            seed=11, record_count=60, client_regions=(Region.IRL,),
+            config=cassandra_config_for("CC2"))
+        network = scenario.env.network
+        network.pool_debug = True
+        run_multi_region_load(
+            scenario, "CC2", workload_by_name("A"), threads_per_client=2,
+            duration_ms=2_000.0, warmup_ms=250.0, cooldown_ms=250.0, seed=11)
+        stats = network.pool_stats()
+        assert stats["reused"] > 0, "message pool never recycled a shell"
+        assert stats["free"] <= stats["created"]
+        assert stats["recycled"] >= stats["reused"]
+        icg_after = _IcgReadOp.pool_stats()
+        assert icg_after["created"] - icg_after["free"] == \
+            outstanding_before, "an ICG per-op record leaked"
 
     @pytest.mark.slow
     def test_quick_figures_match_golden(self):
