@@ -181,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="absolute events/s floor for one scenario, e.g. "
                            "fig06-closed-loop=60000 (repeatable; exits "
                            "non-zero below the floor)")
+    perf.add_argument("--budget-drift", action="store_true",
+                      help="with --profile: exit non-zero when any "
+                           "subsystem's self-time share grows more than 10 "
+                           "points over the best committed profile budget")
     return parser
 
 
@@ -199,6 +203,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          save=not args.no_save,
                          regression_gate=args.check_regression,
                          events_floors=args.events_floors,
+                         budget_drift=args.budget_drift,
                          seed=args.seed, jobs=jobs)
     names = list(_FIGURES) if args.figure == "all" else [args.figure]
     # With an explicit figure, --histograms on an unsupported harness is a

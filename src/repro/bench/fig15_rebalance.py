@@ -266,10 +266,14 @@ def run_fig15_point(point: SweepPoint) -> Dict:
 
     phases = _phase_stats(samples, operation.started_at,
                           operation.completed_at)
+    from repro.cassandra_sim.storage import ColumnarTable
+
     record: Dict[str, Any] = {
         "nodes": nodes,
         "skew": skew,
         "event": event,
+        "columnar": all(isinstance(replica.table, ColumnarTable)
+                        for replica in cluster.replicas),
         "rebalance_ms": operation.duration_ms(),
         "ranges_moved": operation.change.total_ranges(),
         "keys_streamed": cluster.total_keys_streamed(),
@@ -359,6 +363,39 @@ def run_fig15(nodes: Sequence[int] = DEFAULT_NODES,
         event_at_ms=event_at_ms, record_count=record_count,
         stream_batch_items=stream_batch_items, vnodes=vnodes,
         workload=workload, preload=preload, seed=seed)
+    return run_sweep(points, run_fig15_point, jobs=jobs).records()
+
+
+#: Tier-2 scale of the million-key cell: enough records that every replica
+#: holds about two million rows, which only the columnar backend makes
+#: practical (see :mod:`repro.cassandra_sim.storage`).
+MILLION_KEY_RECORD_COUNT = 4_000_000
+
+
+def build_fig15_million_points(
+        record_count: int = MILLION_KEY_RECORD_COUNT,
+        seed: int = 42) -> List[SweepPoint]:
+    """The tier-2 multi-million-key cell of the Figure 15 grid.
+
+    One (6-node, zipf-0.99, join) cell at a record count far past the
+    columnar threshold: the preload bulk-loads every replica's columns,
+    the join streams multi-hundred-thousand-key ranges (larger stream
+    batches keep the event count proportionate), and the standard
+    zero-lost-acked-writes audit runs over the rebalance.  Slow-marked in
+    the test suite; not part of the committed quick figure.
+    """
+    return build_fig15_points(
+        nodes=(6,), skews=("zipf-0.99",), events=("join",),
+        rate_ops_s=300.0, sessions=100, max_in_flight=64, queue_limit=256,
+        duration_ms=4_000.0, warmup_ms=500.0, cooldown_ms=250.0,
+        event_at_ms=1_500.0, record_count=record_count,
+        stream_batch_items=512, seed=seed)
+
+
+def run_fig15_million(record_count: int = MILLION_KEY_RECORD_COUNT,
+                      seed: int = 42, jobs: JobsSpec = 1) -> List[Dict]:
+    """Run the tier-2 multi-million-key join cell (see the point builder)."""
+    points = build_fig15_million_points(record_count=record_count, seed=seed)
     return run_sweep(points, run_fig15_point, jobs=jobs).records()
 
 

@@ -16,7 +16,7 @@ evaluation depends on:
 
 from repro.cassandra_sim.config import CassandraConfig
 from repro.cassandra_sim.versions import VersionedValue
-from repro.cassandra_sim.storage import LocalTable
+from repro.cassandra_sim.storage import ColumnarTable, LocalTable
 from repro.cassandra_sim.partitioner import RingPartitioner
 from repro.cassandra_sim.replica import CassandraReplica
 from repro.cassandra_sim.cluster import CassandraCluster
@@ -26,6 +26,7 @@ __all__ = [
     "CassandraConfig",
     "VersionedValue",
     "LocalTable",
+    "ColumnarTable",
     "RingPartitioner",
     "CassandraReplica",
     "CassandraCluster",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cassandra_sim.config import CassandraConfig
+from repro.cassandra_sim.coordinator import FusedRead, FusedWrite
 from repro.core.retry import RetryPolicy
 from repro.sim.failover import FailoverMixin
 from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
@@ -60,6 +61,9 @@ class CassandraClient(FailoverMixin, Node):
             c for c in (fallback_contacts or []) if c != contact]
         self._req_ids = itertools.count(1)
         self._pending: Dict[int, _PendingRequest] = {}
+        #: Contact replica's node object, resolved lazily on the first fused
+        #: operation (registration order is not constrained at __init__).
+        self._fused_coordinator: Optional[Any] = None
         self.reads_sent = 0
         self.writes_sent = 0
         # Fault-path instrumentation (stays zero with timeouts disabled).
@@ -70,12 +74,58 @@ class CassandraClient(FailoverMixin, Node):
         self.late_preliminaries = 0
 
     # -- issuing operations -------------------------------------------------
+    def _fused_eligible(self) -> bool:
+        """Whether operations issued now may take the fused fast path.
+
+        Fused operations carry no timeout/failover machinery, so the gate
+        requires every fault hook to be disarmed: a single contact (no
+        rotation), all timeouts off, and no read repair.  Scenarios that arm
+        any of these run the classic message path end to end.
+        """
+        config = self.config
+        return (self.network.fast_path and len(self._contacts) == 1
+                and config.client_timeout_ms <= 0
+                and config.read_timeout_ms <= 0
+                and config.write_timeout_ms <= 0
+                and not config.read_repair)
+
+    def _fused_contact(self) -> "Any":
+        coordinator = self._fused_coordinator
+        if coordinator is None:
+            coordinator = self.network.node(self._contacts[0])
+            self._fused_coordinator = coordinator
+        return coordinator
+
     def read(self, key: str, r: int = 1, icg: bool = False,
              on_preliminary: Optional[ResponseCallback] = None,
              on_final: Optional[ResponseCallback] = None) -> int:
         """Issue a read with read-quorum ``r``; returns the request id."""
         req_id = next(self._req_ids)
         self.reads_sent += 1
+        config = self.config
+        network = self.network
+        # _fused_eligible, inlined: this gate runs once per operation.
+        if (network.fast_path and len(self._contacts) == 1
+                and config.client_timeout_ms <= 0
+                and config.read_timeout_ms <= 0
+                and config.write_timeout_ms <= 0 and not config.read_repair):
+            coordinator = self._fused_coordinator
+            if coordinator is None:
+                coordinator = self._fused_contact()
+            rec = FusedRead.acquire()
+            rec.client = self
+            rec.coordinator = coordinator
+            rec.key = key
+            rec.r = r
+            rec.icg = icg
+            rec.sent_at = self.scheduler.clock._now
+            rec.on_preliminary = on_preliminary
+            rec.on_final = on_final
+            network.fused_send(
+                self._fused_route_to(coordinator.name),
+                MESSAGE_HEADER_BYTES + config.key_size_bytes + 8,
+                coordinator._fused_client_read, (rec,))
+            return req_id
         pending = _PendingRequest(
             kind="read", sent_at=self.scheduler.now(),
             on_preliminary=on_preliminary, on_final=on_final,
@@ -97,6 +147,31 @@ class CassandraClient(FailoverMixin, Node):
             value_bytes = len(value)
         else:
             value_bytes = estimate_payload_size(value)
+        config = self.config
+        network = self.network
+        # _fused_eligible, inlined (see read()).
+        if (network.fast_path and len(self._contacts) == 1
+                and config.client_timeout_ms <= 0
+                and config.read_timeout_ms <= 0
+                and config.write_timeout_ms <= 0 and not config.read_repair):
+            coordinator = self._fused_coordinator
+            if coordinator is None:
+                coordinator = self._fused_contact()
+            rec = FusedWrite.acquire()
+            rec.client = self
+            rec.coordinator = coordinator
+            rec.key = key
+            rec.value = value
+            rec.version = None
+            rec.w = w
+            rec.sent_at = self.scheduler.clock._now
+            rec.on_final = on_final
+            network.fused_send(
+                self._fused_route_to(coordinator.name),
+                (MESSAGE_HEADER_BYTES + config.key_size_bytes
+                 + value_bytes),
+                coordinator._fused_client_write, (rec,))
+            return req_id
         pending = _PendingRequest(
             kind="write", sent_at=self.scheduler.now(), on_final=on_final,
             request={"req_id": req_id, "key": key, "value": value, "w": w},
@@ -237,4 +312,131 @@ class CassandraClient(FailoverMixin, Node):
                 "is_confirmation": False,
                 "degraded": bool(payload.get("degraded", False)),
                 "latency_ms": self.scheduler.now() - pending.sent_at,
+            })
+
+    # -- fused fast path responses -------------------------------------------
+    # Network continuations: each starts with the delivery preamble (the
+    # alive check plus delivered/dropped counters _deliver does for
+    # messages).  Records are recycled before callbacks run — a callback may
+    # issue the next operation, which is allowed to reuse the record — so
+    # everything the callback dict needs is captured first.
+    def _fused_read_preliminary(self, rec: FusedRead, replica: str) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        if rec.final_done:
+            # Outlived the final response (the coordinator was slowed, or the
+            # flush job lost the race): count and recycle, no callback.
+            self.late_preliminaries += 1
+            rec.prelim_seen = True
+            if not rec.flush_pending:
+                FusedRead.release(rec)
+            return
+        rec.prelim_seen = True
+        version = rec.preliminary
+        value = version.value if version is not None else None
+        rec.prelim_value = value
+        if rec.on_preliminary is not None:
+            rec.on_preliminary({
+                "value": value,
+                "found": version is not None,
+                "timestamp": version.timestamp if version is not None else None,
+                "replica": replica,
+                "latency_ms": self.scheduler.clock._now - rec.sent_at,
+                "is_confirmation": False,
+            })
+
+    def _fused_read_final(self, rec: FusedRead, is_confirmation: bool,
+                          matches_preliminary: bool) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        rec.final_done = True
+        version = rec.best
+        if is_confirmation:
+            # The storage elided the payload: the preliminary value is final.
+            value = rec.prelim_value
+        else:
+            value = version.value if version is not None else None
+        found = version is not None
+        timestamp = version.timestamp if version is not None else None
+        cb = rec.on_final
+        sent_at = rec.sent_at
+        if not rec.flush_pending and (not rec.preliminary_sent or rec.prelim_seen):
+            FusedRead.release(rec)
+        if cb is not None:
+            cb({
+                "value": value,
+                "found": found,
+                "timestamp": timestamp,
+                "is_confirmation": is_confirmation,
+                "matches_preliminary": matches_preliminary,
+                "degraded": False,
+                "latency_ms": self.scheduler.clock._now - sent_at,
+            })
+
+    def _fused_read_error(self, rec: FusedRead, error: str) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        self.failed_requests += 1
+        cb = rec.on_final
+        sent_at = rec.sent_at
+        FusedRead.release(rec)
+        if cb is not None:
+            cb({
+                "value": None,
+                "found": False,
+                "timestamp": None,
+                "is_confirmation": False,
+                "error": error,
+                "latency_ms": self.scheduler.clock._now - sent_at,
+            })
+
+    def _fused_write_ack(self, rec: FusedWrite) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        rec.client_done = True
+        cb = rec.on_final
+        sent_at = rec.sent_at
+        timestamp = rec.version.timestamp
+        if len(rec.acks) >= rec.acks_expected:
+            FusedWrite.release(rec)
+        if cb is not None:
+            cb({
+                "value": True,
+                "found": True,
+                "timestamp": timestamp,
+                "is_confirmation": False,
+                "degraded": False,
+                "latency_ms": self.scheduler.clock._now - sent_at,
+            })
+
+    def _fused_write_error(self, rec: FusedWrite, error: str) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        self.failed_requests += 1
+        cb = rec.on_final
+        sent_at = rec.sent_at
+        FusedWrite.release(rec)
+        if cb is not None:
+            cb({
+                "value": None,
+                "found": False,
+                "timestamp": None,
+                "is_confirmation": False,
+                "error": error,
+                "latency_ms": self.scheduler.clock._now - sent_at,
             })

@@ -25,6 +25,7 @@ from repro.cassandra_sim.config import CassandraConfig
 from repro.cassandra_sim.partitioner import RingPartitioner
 from repro.cassandra_sim.rebalance import RingRebalance
 from repro.cassandra_sim.replica import CassandraReplica
+from repro.cassandra_sim.storage import ColumnarTable
 from repro.sim.environment import SimEnvironment
 from repro.sim.topology import Region, replica_regions_default
 
@@ -160,6 +161,11 @@ class CassandraCluster:
             raise ValueError(f"replica {name!r} already exists")
         replica = CassandraReplica(name, region, self.env.network, self.config,
                                    self.partitioner)
+        # A node joining a columnar ring starts columnar: the ranges it is
+        # about to stream in are exactly the million-key tables the threshold
+        # flipped the seed replicas to.
+        if any(isinstance(peer.table, ColumnarTable) for peer in self.replicas):
+            replica.table = ColumnarTable()
         replica.ring_state = ring_state
         self.replicas.append(replica)
         self._by_name[name] = replica
@@ -186,14 +192,41 @@ class CassandraCluster:
 
     # -- data loading ----------------------------------------------------------------
     def preload(self, items: Dict[str, object]) -> None:
-        """Install initial data on every replica owning the key (time zero state)."""
+        """Install initial data on every replica owning the key (time zero state).
+
+        Preloads at or above ``config.columnar_threshold_keys`` records flip
+        every replica to :class:`~repro.cassandra_sim.storage.ColumnarTable`
+        first (unless ``config.columnar_storage`` is off) — that is the only
+        scale at which the per-row object overhead matters.
+        """
         from repro.cassandra_sim.versions import VersionedValue
 
+        if (self.config.columnar_storage
+                and len(items) >= self.config.columnar_threshold_keys):
+            for replica in self.replicas:
+                if not isinstance(replica.table, ColumnarTable):
+                    replica.table = ColumnarTable.from_table(replica.table)
+        by_name = self._by_name
+        replicas_for = self.partitioner.replicas_for
+        if self.replicas and all(isinstance(r.table, ColumnarTable)
+                                 for r in self.replicas):
+            # Million-key rings: group rows by owner and bulk-extend each
+            # replica's columns — no version objects, no per-row calls
+            # (see ColumnarTable.preload_rows).
+            buckets: Dict[str, list] = {name: [] for name in by_name}
+            for key, value in items.items():
+                for owner in replicas_for(key):
+                    bucket = buckets.get(owner)
+                    if bucket is not None:
+                        bucket.append((key, value))
+            for name, rows in buckets.items():
+                by_name[name].table.preload_rows(rows)
+            return
         for key, value in items.items():
             version = VersionedValue(value, (0.0, "preload", 0))
-            owners = self.partitioner.replicas_for(key)
-            for replica in self.replicas:
-                if replica.name in owners:
+            for owner in replicas_for(key):
+                replica = by_name.get(owner)
+                if replica is not None:
                     replica.table.apply(key, version)
 
     # -- statistics -------------------------------------------------------------------

@@ -5,6 +5,13 @@ These session objects track one in-flight client operation at its
 coordinator: which replicas still owe a response, whether a preliminary view
 was already flushed (Correctable Cassandra), and what to send back to the
 client when the quorum completes.
+
+:class:`FusedRead` and :class:`FusedWrite` are the fused-fast-path
+equivalents: one pooled record carries an operation through client,
+coordinator and replicas (no per-hop payload dicts, no client pending map,
+no coordinator session map).  They are plain slotted objects recycled
+through class-level free lists; the protocol code in ``replica.py`` /
+``client.py`` owns all state transitions.
 """
 
 from __future__ import annotations
@@ -83,3 +90,125 @@ class WriteSession:
 
     def have_quorum(self) -> bool:
         return len(self.acks) >= self.w
+
+
+class FusedRead:
+    """One fused read operation: client + coordinator state in one record.
+
+    Pooled: acquired at issue, released exactly once when the last
+    continuation holding it runs (final response at the client, or a late
+    preliminary that outlived the final).  ``recyclable`` is cleared by the
+    rare rescue paths (stale ring epoch) so a record with untracked
+    references is simply dropped instead of recycled.
+    """
+
+    __slots__ = ("client", "coordinator", "key", "r", "icg", "sent_at",
+                 "on_preliminary", "on_final", "count", "best", "local",
+                 "local_version", "preliminary", "preliminary_sent",
+                 "final_sent", "prelim_seen", "prelim_value", "final_done",
+                 "flush_pending", "contacted", "recyclable")
+
+    _pool: List["FusedRead"] = []
+    created = 0
+    reused = 0
+    recycled = 0
+
+    def __init__(self) -> None:
+        self.contacted: List[str] = []
+
+    @classmethod
+    def acquire(cls) -> "FusedRead":
+        pool = cls._pool
+        if pool:
+            rec = pool.pop()
+            cls.reused += 1
+        else:
+            rec = cls()
+            cls.created += 1
+        rec.count = 0
+        rec.best = None
+        rec.local = False
+        rec.local_version = None
+        rec.preliminary = None
+        rec.preliminary_sent = False
+        rec.final_sent = False
+        rec.prelim_seen = False
+        rec.prelim_value = None
+        rec.final_done = False
+        rec.flush_pending = False
+        rec.recyclable = True
+        return rec
+
+    @classmethod
+    def release(cls, rec: "FusedRead") -> None:
+        if not rec.recyclable:
+            return
+        rec.client = None
+        rec.coordinator = None
+        rec.key = None
+        rec.on_preliminary = None
+        rec.on_final = None
+        rec.best = None
+        rec.local_version = None
+        rec.preliminary = None
+        rec.prelim_value = None
+        rec.contacted.clear()
+        if len(cls._pool) < 4096:
+            cls.recycled += 1
+            cls._pool.append(rec)
+
+    @classmethod
+    def pool_stats(cls) -> Dict[str, int]:
+        return {"created": cls.created, "reused": cls.reused,
+                "recycled": cls.recycled, "free": len(cls._pool)}
+
+
+class FusedWrite:
+    """One fused write operation (see :class:`FusedRead`)."""
+
+    __slots__ = ("client", "coordinator", "key", "value", "version", "w",
+                 "sent_at", "on_final", "acks", "acks_expected",
+                 "acked_client", "client_done", "recyclable")
+
+    _pool: List["FusedWrite"] = []
+    created = 0
+    reused = 0
+    recycled = 0
+
+    def __init__(self) -> None:
+        self.acks: List[str] = []
+
+    @classmethod
+    def acquire(cls) -> "FusedWrite":
+        pool = cls._pool
+        if pool:
+            rec = pool.pop()
+            cls.reused += 1
+        else:
+            rec = cls()
+            cls.created += 1
+        rec.acks_expected = 0
+        rec.acked_client = False
+        rec.client_done = False
+        rec.recyclable = True
+        return rec
+
+    @classmethod
+    def release(cls, rec: "FusedWrite") -> None:
+        if not rec.recyclable:
+            return
+        rec.client = None
+        rec.coordinator = None
+        rec.key = None
+        rec.value = None
+        rec.version = None
+        rec.on_final = None
+        rec.acks.clear()
+        if len(cls._pool) < 4096:
+            cls.recycled += 1
+            cls._pool.append(rec)
+
+    @classmethod
+    def pool_stats(cls) -> Dict[str, int]:
+        return {"created": cls.created, "reused": cls.reused,
+                "recycled": cls.recycled, "free": len(cls._pool)}

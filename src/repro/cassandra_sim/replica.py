@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cassandra_sim.config import CassandraConfig
-from repro.cassandra_sim.coordinator import ReadSession, WriteSession
+from repro.cassandra_sim.coordinator import (FusedRead, FusedWrite,
+                                             ReadSession, WriteSession)
 from repro.cassandra_sim.partitioner import RingPartitioner, StreamTask
 from repro.cassandra_sim.storage import LocalTable
 from repro.cassandra_sim.versions import VersionedValue
@@ -79,6 +80,9 @@ class CassandraReplica(Node):
         self._write_seq = itertools.count(1)
         self._read_sessions: Dict[int, ReadSession] = {}
         self._write_sessions: Dict[int, WriteSession] = {}
+        #: key -> (local_participant, fused fan-out targets); see _fused_plan.
+        self._fused_plans: Dict[str, tuple] = {}
+        self._fused_plan_stamp = (-1, -1)
         # Instrumentation used by the benchmarks.
         self.reads_coordinated = 0
         self.writes_coordinated = 0
@@ -594,6 +598,390 @@ class CassandraReplica(Node):
                    "timestamp": session.version.timestamp,
                    "degraded": degraded},
                   size_bytes=MESSAGE_HEADER_BYTES + 10)
+
+    # -- fused fast path -------------------------------------------------------
+    # The zero-fault request path: one pooled record (FusedRead/FusedWrite)
+    # carries the operation through pre-bound continuations instead of
+    # per-hop Messages and payload dicts.  Every network continuation below
+    # starts with the delivery preamble (_deliver's alive check and
+    # delivered/dropped counters); queue jobs go through Node._enqueue.
+    # Accounting, jitter draws, service charging and the (time, seq) event
+    # order are bit-identical to the message path — the determinism suite
+    # runs fig06/fig13/fig16 slices both ways to prove it.
+
+    def _fused_plan(self, key: str) -> tuple:
+        """``(local_participant, targets)`` for ``key`` on the fused path.
+
+        ``targets`` holds ``(node, route, read_req, write_req)`` per other
+        replica in distance order: the endpoint object, its cached network
+        route, and the pre-bound delivery continuations.  Invalidated by
+        ring-epoch bumps and network route invalidation.
+        """
+        network = self.network
+        # Network.fused_epoch, inlined (this runs once per coordinated op).
+        if network.topology._version != network._topo_version:
+            network._sync_topology()
+        stamp = (self.partitioner.version, network._route_epoch)
+        if self._fused_plan_stamp != stamp:
+            self._fused_plans.clear()
+            self._fused_plan_stamp = stamp
+        plan = self._fused_plans.get(key)
+        if plan is None:
+            local = self.name in self.partitioner.replicas_for(key)
+            targets = tuple(
+                (node, network.fused_route(self.name, node.name),
+                 node._fused_read_req, node._fused_write_req)
+                for node in map(network.node,
+                                self._other_replicas_by_distance(key)))
+            if len(self._fused_plans) >= 65536:
+                self._fused_plans.clear()
+            plan = self._fused_plans[key] = (local, targets)
+        return plan
+
+    # -- fused read path -------------------------------------------------------
+    def _fused_client_read(self, rec: FusedRead) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        if self.ring_state != "serving":
+            self.stale_rejections += 1
+            client = rec.client
+            net.fused_send(
+                self._fused_route_to(client.name),
+                MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes,
+                client._fused_read_error,
+                (rec, f"coordinator {self.name} left the ring"))
+            return
+        self.reads_coordinated += 1
+        self._enqueue(self.config.read_service_ms,
+                      self._fused_coordinate_read, (rec,))
+
+    def _fused_coordinate_read(self, rec: FusedRead) -> None:
+        key = rec.key
+        config = self.config
+        local, targets = self._fused_plan(key)
+        if local:
+            version = self.table.read(key)
+            rec.local = True
+            rec.local_version = version
+            rec.count = 1
+            if version is not None:
+                rec.best = version
+            rec.contacted.append(self.name)
+            if rec.icg:
+                rec.flush_pending = True
+                self._enqueue(config.preliminary_flush_ms,
+                              self._fused_flush_preliminary, (rec,))
+        remote_needed = rec.r - rec.count
+        if remote_needed > 0 and targets:
+            if remote_needed < len(targets):
+                targets = targets[:remote_needed]
+            size = MESSAGE_HEADER_BYTES + config.key_size_bytes
+            net = self.network
+            scheduler = net.scheduler
+            now = scheduler.clock._now
+            account = net.fused_account
+            contacted = rec.contacted
+            batch: list = []
+            batch_time = 0.0
+            for node, route, read_req, _ in targets:
+                contacted.append(node.name)
+                delay = account(route, size)
+                if delay is None:
+                    continue
+                at = now + delay
+                if batch and at != batch_time:
+                    scheduler.schedule_batch_at(batch_time, batch)
+                    batch = []
+                batch_time = at
+                batch.append((read_req, (rec,)))
+            if batch:
+                scheduler.schedule_batch_at(batch_time, batch)
+        if rec.count >= rec.r and not rec.final_sent:
+            self._fused_finish_read(rec)
+
+    def _fused_flush_preliminary(self, rec: FusedRead) -> None:
+        rec.flush_pending = False
+        if rec.final_sent or rec.preliminary_sent:
+            # The final overtook this job (queue backlog at the coordinator).
+            # The client defers recycling while a flush job is outstanding,
+            # so when it already processed the final this job holds the last
+            # live reference and must hand the record back itself.
+            if rec.final_done and (not rec.preliminary_sent or rec.prelim_seen):
+                FusedRead.release(rec)
+            return
+        # The *local* version, not the best-so-far: a remote response that
+        # beat this flush job must not leak into the preliminary view.
+        version = rec.local_version
+        rec.preliminary = version
+        rec.preliminary_sent = True
+        self.preliminaries_flushed += 1
+        client = rec.client
+        self.network.fused_send(
+            self._fused_route_to(client.name),
+            (MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes
+             + self._value_bytes(version)),
+            client._fused_read_preliminary, (rec, self.name))
+
+    def _fused_read_req(self, rec: FusedRead) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        self._enqueue(self.config.read_service_ms,
+                      self._fused_serve_read, (rec,))
+
+    def _fused_serve_read(self, rec: FusedRead) -> None:
+        config = self.config
+        coordinator = rec.coordinator
+        if self.ring_state != "serving" \
+                or not self.partitioner.is_replica(self.name, rec.key):
+            self.stale_rejections += 1
+            self.network.fused_send(
+                self._fused_route_to(coordinator.name),
+                MESSAGE_HEADER_BYTES + config.response_overhead_bytes,
+                coordinator._fused_read_stale, (rec,))
+            return
+        version = self.table.read(rec.key)
+        self.network.fused_send(
+            self._fused_route_to(coordinator.name),
+            (MESSAGE_HEADER_BYTES + config.response_overhead_bytes
+             + self._value_bytes(version)),
+            coordinator._fused_read_resp, (rec, version, self.name))
+
+    def _fused_read_resp(self, rec: FusedRead,
+                         version: Optional[VersionedValue],
+                         replica: str) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        if rec.final_sent:
+            return
+        rec.count += 1
+        best = rec.best
+        if version is not None and (best is None
+                                    or version.timestamp > best.timestamp):
+            rec.best = version
+        # A coordinator that is not a replica for the key flushes the first
+        # remote response as the preliminary view.
+        if rec.icg and not rec.preliminary_sent and not rec.local:
+            rec.preliminary = version
+            rec.preliminary_sent = True
+            self.preliminaries_flushed += 1
+            client = rec.client
+            net.fused_send(
+                self._fused_route_to(client.name),
+                (MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes
+                 + self._value_bytes(version)),
+                client._fused_read_preliminary, (rec, replica))
+        if rec.count >= rec.r:
+            self._fused_finish_read(rec)
+
+    def _fused_finish_read(self, rec: FusedRead) -> None:
+        rec.final_sent = True
+        config = self.config
+        newest = rec.best
+        matches_preliminary = (
+            rec.preliminary_sent
+            and ((newest is None and rec.preliminary is None)
+                 or (newest is not None and rec.preliminary is not None
+                     and newest.value == rec.preliminary.value))
+        )
+        use_confirmation = (rec.icg and config.confirmation_optimization
+                            and matches_preliminary)
+        if use_confirmation:
+            self.confirmations_sent += 1
+            size = MESSAGE_HEADER_BYTES + config.confirmation_bytes
+        else:
+            size = (MESSAGE_HEADER_BYTES + config.response_overhead_bytes
+                    + self._value_bytes(newest))
+        client = rec.client
+        self.network.fused_send(
+            self._fused_route_to(client.name), size,
+            client._fused_read_final,
+            (rec, use_confirmation, matches_preliminary))
+
+    def _fused_read_stale(self, rec: FusedRead) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        if rec.final_sent:
+            return
+        # Mirrors _retry_read_after_stale_epoch; the record leaves the pool
+        # (recyclable=False) since rescue sends hold untracked references.
+        rec.recyclable = False
+        self.stale_epoch_retries += 1
+        size = MESSAGE_HEADER_BYTES + self.config.key_size_bytes
+        needed = rec.r - rec.count
+        contacted = rec.contacted
+        for name in self._other_replicas_by_distance(rec.key):
+            if needed <= 0:
+                break
+            if name in contacted:
+                continue
+            needed -= 1
+            contacted.append(name)
+            node = net.node(name)
+            net.fused_send(self._fused_route_to(name), size,
+                           node._fused_read_req, (rec,))
+        if not rec.local and self.partitioner.is_replica(self.name, rec.key):
+            version = self.table.read(rec.key)
+            rec.local = True
+            rec.local_version = version
+            rec.count += 1
+            best = rec.best
+            if version is not None and (best is None
+                                        or version.timestamp > best.timestamp):
+                rec.best = version
+            if self.name not in contacted:
+                contacted.append(self.name)
+            if rec.count >= rec.r:
+                self._fused_finish_read(rec)
+
+    # -- fused write path ------------------------------------------------------
+    def _fused_client_write(self, rec: FusedWrite) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        if self.ring_state != "serving":
+            self.stale_rejections += 1
+            client = rec.client
+            net.fused_send(
+                self._fused_route_to(client.name),
+                MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes,
+                client._fused_write_error,
+                (rec, f"coordinator {self.name} left the ring"))
+            return
+        self.writes_coordinated += 1
+        rec.version = VersionedValue(
+            rec.value,
+            (self.scheduler.clock._now, self.name, next(self._write_seq)))
+        self._enqueue(self.config.write_service_ms,
+                      self._fused_coordinate_write, (rec,))
+
+    def _fused_coordinate_write(self, rec: FusedWrite) -> None:
+        key = rec.key
+        config = self.config
+        local, targets = self._fused_plan(key)
+        version = rec.version
+        acks_expected = 0
+        if local:
+            self.table.apply(key, version)
+            rec.acks.append(self.name)
+            acks_expected = 1
+        size = (MESSAGE_HEADER_BYTES + config.key_size_bytes
+                + self._value_bytes(version))
+        net = self.network
+        if targets:
+            scheduler = net.scheduler
+            now = scheduler.clock._now
+            account = net.fused_account
+            batch: list = []
+            batch_time = 0.0
+            for node, route, _, write_req in targets:
+                delay = account(route, size)
+                if delay is None:
+                    continue
+                # Only sends that were actually scheduled can ever ack; the
+                # record is released once all of them (plus the local apply)
+                # have, so absorbed late acks keep pool accounting exact.
+                acks_expected += 1
+                at = now + delay
+                if batch and at != batch_time:
+                    scheduler.schedule_batch_at(batch_time, batch)
+                    batch = []
+                batch_time = at
+                batch.append((write_req, (rec, True)))
+            if batch:
+                scheduler.schedule_batch_at(batch_time, batch)
+        rec.acks_expected = acks_expected
+        pending = self.partitioner.pending_replicas_for(key)
+        if pending:
+            for name in pending:
+                if name == self.name:
+                    continue
+                self.writes_forwarded += 1
+                rec.recyclable = False
+                node = net.node(name)
+                net.fused_send(self._fused_route_to(name), size,
+                               node._fused_write_req, (rec, False))
+        if len(rec.acks) >= rec.w:
+            self._fused_ack_client(rec)
+
+    def _fused_write_req(self, rec: FusedWrite, ack: bool) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        self._enqueue(self.config.write_service_ms,
+                      self._fused_apply_write, (rec, ack))
+
+    def _fused_apply_write(self, rec: FusedWrite, ack: bool) -> None:
+        coordinator = rec.coordinator
+        if self.ring_state == "retired":
+            self.stale_rejections += 1
+            if ack:
+                self.network.fused_send(
+                    self._fused_route_to(coordinator.name),
+                    MESSAGE_HEADER_BYTES + 10,
+                    coordinator._fused_write_stale, (rec,))
+            return
+        self.table.apply(rec.key, rec.version)
+        if ack:
+            self.network.fused_send(
+                self._fused_route_to(coordinator.name),
+                MESSAGE_HEADER_BYTES + 10,
+                coordinator._fused_on_write_ack, (rec, self.name))
+
+    def _fused_on_write_ack(self, rec: FusedWrite, replica: str) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        acks = rec.acks
+        if replica not in acks:
+            acks.append(replica)
+        if not rec.acked_client and len(acks) >= rec.w:
+            self._fused_ack_client(rec)
+        if rec.client_done and len(acks) >= rec.acks_expected:
+            FusedWrite.release(rec)
+
+    def _fused_write_stale(self, rec: FusedWrite) -> None:
+        net = self.network
+        if not self.alive:
+            net.messages_dropped += 1
+            return
+        net.messages_delivered += 1
+        # Mirrors _retry_write_after_stale_epoch (see _fused_read_stale).
+        rec.recyclable = False
+        self.stale_epoch_retries += 1
+        size = (MESSAGE_HEADER_BYTES + self.config.key_size_bytes
+                + self._value_bytes(rec.version))
+        acks = rec.acks
+        for name in self._other_replicas_by_distance(rec.key):
+            if name in acks:
+                continue
+            node = net.node(name)
+            net.fused_send(self._fused_route_to(name), size,
+                           node._fused_write_req, (rec, True))
+
+    def _fused_ack_client(self, rec: FusedWrite) -> None:
+        rec.acked_client = True
+        client = rec.client
+        self.network.fused_send(
+            self._fused_route_to(client.name), MESSAGE_HEADER_BYTES + 10,
+            client._fused_write_ack, (rec,))
 
     # -- range streaming (ring rebalance) ---------------------------------------
     def begin_stream(self, task: StreamTask,

@@ -1,8 +1,31 @@
-"""Per-replica storage engine: a last-write-wins versioned table."""
+"""Per-replica storage engines: last-write-wins versioned tables.
+
+Two interchangeable backends sit behind the same interface:
+
+:class:`LocalTable`
+    One ``VersionedValue`` object per row in a dict.  Cheap to build, ideal
+    for the small tables most figure experiments use.
+
+:class:`ColumnarTable`
+    Column-oriented storage for million-key replicas.  Rows are decomposed
+    into parallel columns — a values list, a ``float64`` write-time array,
+    an interned writer-id array and an ``int64`` sequence array — so a row
+    costs four column slots instead of a ``VersionedValue`` plus a
+    three-element timestamp tuple (roughly 180 bytes of object headers per
+    key saved at RF3 scale, which is what makes 4M-key rings fit).  LWW
+    resolution is *exact*: the column comparison is elementwise-identical
+    to the ``(time, writer, seq)`` tuple comparison ``LocalTable`` inherits
+    from :meth:`VersionedValue.newer_than`.
+
+Clusters pick the backend automatically at preload/join time (see
+``CassandraConfig.columnar_storage`` / ``columnar_threshold_keys``); the
+protocol code never knows which one it is talking to.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cassandra_sim.versions import VersionedValue
 
@@ -57,3 +80,165 @@ class LocalTable:
 
     def __len__(self) -> int:
         return len(self._rows)
+
+
+class ColumnarTable:
+    """Column-oriented drop-in for :class:`LocalTable` (million-key rings).
+
+    ``array('d')`` / ``array('q')`` indexing returns native Python floats
+    and ints, so reconstructed timestamps compare (and ``repr``) exactly
+    like the tuples a :class:`LocalTable` stores — the two backends are
+    observationally identical, which the Hypothesis equivalence test in
+    ``tests/cassandra_sim/test_storage_partitioner.py`` checks operation by
+    operation.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self._values: List[object] = []
+        self._times = array("d")
+        self._writer_ids = array("i")
+        self._seqs = array("q")
+        #: Interned writer names: replicas write under a handful of
+        #: coordinator names, so the writer column is a small-int array.
+        self._writers: List[str] = []
+        self._writer_index: Dict[str, int] = {}
+        self.reads = 0
+        self.writes_applied = 0
+        self.writes_ignored = 0
+
+    @classmethod
+    def from_table(cls, table: "LocalTable") -> "ColumnarTable":
+        """Columnarize an existing table, carrying rows and counters over."""
+        columnar = cls()
+        for key, version in table.items():
+            columnar.apply(key, version)
+        columnar.reads = table.reads
+        columnar.writes_applied = table.writes_applied
+        columnar.writes_ignored = table.writes_ignored
+        return columnar
+
+    def _writer_id(self, writer: str) -> int:
+        wid = self._writer_index.get(writer)
+        if wid is None:
+            wid = len(self._writers)
+            self._writer_index[writer] = wid
+            self._writers.append(writer)
+        return wid
+
+    def preload_row(self, key: str, value: object) -> bool:
+        """Install one time-zero row, the ``Cluster.preload`` bulk path.
+
+        Observationally identical to ``apply(key, VersionedValue(value,
+        (0.0, "preload", 0)))`` — including the counters — but the common
+        fresh-ring case appends straight into the columns without building
+        the version object or comparing timestamps.
+        """
+        index = self._index
+        if key in index:
+            # Preload onto a non-empty table: exact LWW, as before.
+            return self.apply(key, VersionedValue(value, (0.0, "preload", 0)))
+        index[key] = len(self._values)
+        self._values.append(value)
+        self._times.append(0.0)
+        self._writer_ids.append(self._writer_id("preload"))
+        self._seqs.append(0)
+        self.writes_applied += 1
+        return True
+
+    def preload_rows(self, rows: List[Tuple[str, object]]) -> None:
+        """Bulk :meth:`preload_row`: one column extend per table.
+
+        ``rows`` must not repeat a key (the preload items mapping
+        guarantees it).  A non-empty table falls back to the exact per-row
+        path; on a fresh ring the keys, values and constant time-zero
+        columns are appended wholesale.
+        """
+        index = self._index
+        if index:
+            for key, value in rows:
+                self.preload_row(key, value)
+            return
+        values = self._values
+        base = len(values)
+        keys: List[str] = []
+        for key, value in rows:
+            keys.append(key)
+            values.append(value)
+        count = len(keys)
+        index.update(zip(keys, range(base, base + count)))
+        zeros = bytes(8 * count)
+        self._times.frombytes(zeros)     # float64 zeros: time 0.0
+        self._seqs.frombytes(zeros)      # int64 zeros: seq 0
+        self._writer_ids.extend(
+            array("i", [self._writer_id("preload")]) * count)
+        self.writes_applied += count
+
+    def read(self, key: str) -> Optional[VersionedValue]:
+        """Return the locally stored version of ``key`` (None if absent)."""
+        self.reads += 1
+        idx = self._index.get(key)
+        if idx is None:
+            return None
+        return VersionedValue(
+            self._values[idx],
+            (self._times[idx], self._writers[self._writer_ids[idx]],
+             self._seqs[idx]))
+
+    def apply(self, key: str, version: VersionedValue) -> bool:
+        """Apply a write if it is newer than the stored version (LWW)."""
+        idx = self._index.get(key)
+        time, writer, seq = version.timestamp
+        if idx is None:
+            self._index[key] = len(self._values)
+            self._values.append(version.value)
+            self._times.append(time)
+            self._writer_ids.append(self._writer_id(writer))
+            self._seqs.append(seq)
+            self.writes_applied += 1
+            return True
+        # Elementwise (time, writer, seq) tuple comparison, strict '>' —
+        # exactly VersionedValue.newer_than against the stored row.
+        stored_time = self._times[idx]
+        if time != stored_time:
+            newer = time > stored_time
+        else:
+            stored_writer = self._writers[self._writer_ids[idx]]
+            if writer != stored_writer:
+                newer = writer > stored_writer
+            else:
+                newer = seq > self._seqs[idx]
+        if newer:
+            self._values[idx] = version.value
+            self._times[idx] = time
+            self._writer_ids[idx] = self._writer_id(writer)
+            self._seqs[idx] = seq
+            self.writes_applied += 1
+            return True
+        self.writes_ignored += 1
+        return False
+
+    def contains(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> Optional[VersionedValue]:
+        """Raw access without touching the ``reads`` counter."""
+        idx = self._index.get(key)
+        if idx is None:
+            return None
+        return VersionedValue(
+            self._values[idx],
+            (self._times[idx], self._writers[self._writer_ids[idx]],
+             self._seqs[idx]))
+
+    def keys(self) -> Tuple[str, ...]:
+        """All stored keys, sorted — the deterministic streaming scan order."""
+        return tuple(sorted(self._index))
+
+    def items(self) -> Iterator[Tuple[str, VersionedValue]]:
+        """Iterate ``(key, version)`` pairs in sorted key order."""
+        for key in sorted(self._index):
+            yield key, self.get(key)
+
+    def __len__(self) -> int:
+        return len(self._index)

@@ -22,10 +22,23 @@ The send path is written for throughput:
 * :meth:`Network.send_many` fans a burst out of one node and coalesces
   same-instant deliveries into one batched heap entry
   (:meth:`~repro.sim.scheduler.Scheduler.schedule_batch_at`).
+
+The *fused* protocol fast path (:attr:`Network.fast_path`, default on) goes
+one step further: protocol layers that carry their own per-operation state
+skip :class:`Message` entirely and schedule a pre-bound continuation at the
+delivery instant via :meth:`Network.fused_send` /
+:meth:`Network.fused_account`.  Accounting, drop rules, and the jitter draw
+are bit-identical to :meth:`send` — same ``messages_sent`` /
+``messages_dropped`` counters, same :class:`LinkStats` and per-node byte
+cells, same RNG consumption — so golden event traces are unchanged; only
+the per-send object churn (message shell, payload dict, handler dispatch)
+disappears.  Delivery-side accounting (``messages_delivered`` and the
+dead-destination drop) is the receiving continuation's responsibility.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import sys
 from dataclasses import dataclass
@@ -213,12 +226,22 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Kill-switch for the fused protocol fast path (mirrors
+        #: ``Scheduler.wheel`` / ``batch_dispatch``).  Protocol layers check
+        #: it when an operation is *issued*; in-flight fused operations
+        #: complete fused after a flip.
+        self.fast_path = True
+        #: Bumped whenever :attr:`_routes` is invalidated; protocol-level
+        #: fused-route caches revalidate against it instead of probing the
+        #: route dict per send.
+        self._route_epoch = 0
         self._sync_topology()
 
     def _sync_topology(self) -> None:
         """Refresh everything cached off the topology (see ``_version``)."""
         topology = self.topology
         self._routes.clear()
+        self._route_epoch += 1
         self._jitter_fraction = topology.jitter_fraction
         self._rand = topology._rng.random
         self._topo_version = topology._version
@@ -230,10 +253,12 @@ class Network:
             raise ValueError(f"node name already registered: {node.name}")
         self._nodes[node.name] = node
         self._routes.clear()
+        self._route_epoch += 1
 
     def unregister(self, name: str) -> None:
         self._nodes.pop(name, None)
         self._routes.clear()
+        self._route_epoch += 1
 
     def node(self, name: str) -> "Node":
         return self._nodes[name]
@@ -503,6 +528,145 @@ class Network:
                 "recycled": self.pool_recycled,
                 "free": len(self._msg_pool)}
 
+    # -- fused fast path ---------------------------------------------------
+    def fused_epoch(self) -> int:
+        """Current route epoch, syncing pending topology edits first.
+
+        Protocol-level route/plan caches validate against this (not the raw
+        :attr:`_route_epoch`): an RTT edit bumps only the topology version
+        until the next send, and a stale cached base delay must not survive
+        into a fused fan-out loop after the first send re-syncs.
+        """
+        if self.topology._version != self._topo_version:
+            self._sync_topology()
+        return self._route_epoch
+
+    def fused_route(self, src: str, dst: str) -> list:
+        """The cached route entry for src→dst, for fused protocol senders.
+
+        Callers hold the returned list and revalidate their hold against
+        :attr:`_route_epoch` (the list is shared with :meth:`_prepare`, so
+        fused and message sends charge the very same stats and byte cells).
+        """
+        if self.topology._version != self._topo_version:
+            self._sync_topology()
+        route = self._routes.get((src, dst))
+        if route is None:
+            route = self._route(src, dst)
+        return route
+
+    def fused_account(self, route: list, size_bytes: int) -> Optional[float]:
+        """Account one fused send; returns the delivery delay or ``None``.
+
+        Bit-for-bit the accounting of :meth:`_prepare` without the message
+        shell: sender-side drop rules, link/byte charging, and the jitter
+        draw happen in the same order with the same arithmetic, so a fused
+        run consumes the topology RNG exactly like a message run.  ``None``
+        means the send was dropped and nothing must be scheduled.
+        """
+        if self.topology._version != self._topo_version:
+            self._sync_topology()
+            route = self._route(route[0].name, route[1].name)
+        src_node, dst_node, stats, base, src_cell, dst_cell = route
+        if not src_node.alive:
+            self.messages_dropped += 1
+            return None
+        self.messages_sent += 1
+        if stats is None:
+            key = (src_node.name, dst_node.name)
+            stats = self._links.get(key)
+            if stats is None:
+                stats = self._links[key] = LinkStats()
+            route[2] = stats
+        stats.messages += 1
+        stats.bytes += size_bytes
+        src_cell[0] += size_bytes
+        if dst_cell is not None:
+            dst_cell[0] += size_bytes
+        if self._partitioned or self._partitioned_regions:
+            if self.is_partitioned(src_node.name, dst_node.name):
+                self.messages_dropped += 1
+                return None
+        if not dst_node.alive:
+            self.messages_dropped += 1
+            return None
+        jitter_fraction = self._jitter_fraction
+        if jitter_fraction > 0:
+            delay = base + jitter_fraction * self._rand() * base
+        else:
+            delay = base
+        if self._link_extra_ms:
+            delay += self.link_extra_ms(src_node.name, dst_node.name)
+        return delay
+
+    def fused_send(self, route: list, size_bytes: int,
+                   fn: Any, args: tuple) -> bool:
+        """Account one fused send and schedule ``fn(*args)`` at delivery.
+
+        The continuation owns the delivery-side bookkeeping that
+        :meth:`_deliver` does for messages: bump ``messages_delivered`` when
+        the destination is alive, ``messages_dropped`` when it is not.
+        Returns ``False`` when the send was dropped (nothing scheduled).
+
+        :meth:`fused_account` and the scheduler insert are inlined — this
+        runs once per protocol hop, and the two extra call frames are
+        measurable at full fig06 scale.  Keep the accounting sequence
+        bit-identical to :meth:`_prepare` / :meth:`fused_account`.
+        """
+        if self.topology._version != self._topo_version:
+            self._sync_topology()
+            route = self._route(route[0].name, route[1].name)
+        src_node, dst_node, stats, base, src_cell, dst_cell = route
+        if not src_node.alive:
+            self.messages_dropped += 1
+            return False
+        self.messages_sent += 1
+        if stats is None:
+            key = (src_node.name, dst_node.name)
+            stats = self._links.get(key)
+            if stats is None:
+                stats = self._links[key] = LinkStats()
+            route[2] = stats
+        stats.messages += 1
+        stats.bytes += size_bytes
+        src_cell[0] += size_bytes
+        if dst_cell is not None:
+            dst_cell[0] += size_bytes
+        if self._partitioned or self._partitioned_regions:
+            if self.is_partitioned(src_node.name, dst_node.name):
+                self.messages_dropped += 1
+                return False
+        if not dst_node.alive:
+            self.messages_dropped += 1
+            return False
+        jitter_fraction = self._jitter_fraction
+        if jitter_fraction > 0:
+            delay = base + jitter_fraction * self._rand() * base
+        else:
+            delay = base
+        if self._link_extra_ms:
+            delay += self.link_extra_ms(src_node.name, dst_node.name)
+        # Scheduler.schedule_call, inlined (delay is >= 0 by construction).
+        scheduler = self.scheduler
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        timestamp = scheduler.clock._now + delay
+        if timestamp < scheduler._horizon:
+            tick = int(timestamp * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(
+                    scheduler._slots[tick & scheduler._wheel_mask],
+                    (timestamp, seq, fn, args, None, None))
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(
+                    (timestamp, seq, fn, args, None, None))
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap,
+                           (timestamp, seq, fn, args, None, None))
+        return True
+
     # -- accounting --------------------------------------------------------
     def _link(self, src: str, dst: str) -> LinkStats:
         key = (src, dst)
@@ -539,6 +703,7 @@ class Network:
         # Cached routes hold LinkStats references and byte cells; drop them
         # so post-reset traffic charges fresh counters.
         self._routes.clear()
+        self._route_epoch += 1
         self._node_cells.clear()
         self.messages_sent = 0
         self.messages_delivered = 0

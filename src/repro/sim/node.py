@@ -10,6 +10,7 @@ which is what produces the latency-vs-throughput curves in Figures 6 and 11.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.sim.network import Message, Network
@@ -76,6 +77,10 @@ class Node:
         #: dispatch (a ``getattr`` with string formatting per message adds
         #: up on the delivery hot path).
         self._handler_cache: dict = {}
+        #: destination name -> network route entry, for the fused protocol
+        #: fast path; revalidated against ``Network._route_epoch``.
+        self._fused_routes: dict = {}
+        self._fused_epoch = -1
         network.register(self)
 
     # -- lifecycle ---------------------------------------------------------
@@ -151,6 +156,63 @@ class Node:
         queue.busy_time += cost
         scheduler.schedule_call_at(finish, fn, args, kwargs or None)
         return finish
+
+    # -- fused fast path ----------------------------------------------------
+    def _fused_route_to(self, dst: str) -> list:
+        """Cached network route from this node to ``dst`` (fused sends).
+
+        One dict probe per send once warm; the whole cache is dropped when
+        the network invalidates its route table (topology edit, membership
+        change, ``reset_stats``), so entries can never alias retired stats
+        objects or byte cells.
+        """
+        network = self.network
+        # Network.fused_epoch, inlined (one call frame per hop matters).
+        if network.topology._version != network._topo_version:
+            network._sync_topology()
+        epoch = network._route_epoch
+        if self._fused_epoch != epoch:
+            self._fused_routes.clear()
+            self._fused_epoch = epoch
+        route = self._fused_routes.get(dst)
+        if route is None:
+            route = network.fused_route(self.name, dst)
+            self._fused_routes[dst] = route
+        return route
+
+    def _enqueue(self, service_time_ms: float, fn: Callable[..., Any],
+                 args: tuple) -> None:
+        """Fused-path :meth:`process`: no kwargs, no finish-time return.
+
+        The scheduler insert is inlined too (``finish >= now`` holds by
+        construction, so the past-check is redundant here) — queue jobs are
+        one of the two dominant event classes.
+        """
+        cost = service_time_ms * self.slowdown_factor
+        queue = self.queue
+        scheduler = queue._scheduler
+        now = scheduler.clock._now
+        busy = queue._busy_until
+        start = now if now > busy else busy
+        finish = start + cost
+        queue._busy_until = finish
+        queue.jobs_processed += 1
+        queue.busy_time += cost
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        if finish < scheduler._horizon:
+            tick = int(finish * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(scheduler._slots[tick & scheduler._wheel_mask],
+                               (finish, seq, fn, args, None, None))
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(
+                    (finish, seq, fn, args, None, None))
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap,
+                           (finish, seq, fn, args, None, None))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r}, region={self.region!r})"

@@ -31,12 +31,15 @@ def _sha(parts: Iterable) -> str:
     return digest.hexdigest()
 
 
-def trace_fingerprint(batch_dispatch: bool = True) -> Dict[str, object]:
+def trace_fingerprint(batch_dispatch: bool = True, wheel: bool = True,
+                      fast_path: bool = True) -> Dict[str, object]:
     """Event-trace + metrics fingerprint of a small closed-loop CC2 run.
 
     ``batch_dispatch=False`` forces every delivery onto an individual heap
-    entry; the fingerprint must be identical either way (batching is an
-    amortization of heap traffic, never a reordering).
+    entry; ``wheel=False`` routes all scheduling through the classic binary
+    heap; ``fast_path=False`` disables the fused protocol path so every hop
+    is a real :class:`Message`.  The fingerprint must be identical in every
+    combination — all three are amortizations, never reorderings.
     """
     from repro.bench.common import (
         build_cassandra_scenario, cassandra_config_for, run_multi_region_load)
@@ -48,6 +51,8 @@ def trace_fingerprint(batch_dispatch: bool = True) -> Dict[str, object]:
         client_regions=(Region.IRL, Region.FRK),
         config=cassandra_config_for("CC2"))
     scenario.env.scheduler.batch_dispatch = batch_dispatch
+    scenario.env.scheduler.wheel = wheel
+    scenario.env.network.fast_path = fast_path
     trace = scenario.env.scheduler.start_trace()
     results = run_multi_region_load(
         scenario, "CC2", workload_by_name("A"), threads_per_client=2,
@@ -90,41 +95,207 @@ class TestDeterminism:
         """Per-entry dispatch reproduces the batched trace bit for bit."""
         assert trace_fingerprint(batch_dispatch=False) == _golden()["trace"]
 
+    def test_event_trace_matches_golden_with_wheel_off(self):
+        """The heap-only scheduler reproduces the timing-wheel trace."""
+        assert trace_fingerprint(wheel=False) == _golden()["trace"]
+
+    def test_event_trace_matches_golden_with_fast_path_off(self):
+        """The classic message path reproduces the fused trace bit for bit."""
+        assert trace_fingerprint(fast_path=False) == _golden()["trace"]
+
+    def test_event_trace_matches_golden_all_switches_off(self):
+        assert trace_fingerprint(batch_dispatch=False, wheel=False,
+                                 fast_path=False) == _golden()["trace"]
+
     def test_event_trace_is_repeatable(self):
         assert trace_fingerprint() == trace_fingerprint()
 
-    def test_pools_recycle_without_leaking(self):
-        """Every pooled object acquired during a run goes back to its pool.
-
-        Runs with the network pool's debug assertions armed (they fire on
-        recycling a still-referenced message or double-recycling), then
-        checks the counters: shells are actually reused, the free list only
-        ever holds created shells, and no ICG per-op record stays
-        outstanding once the run drains.
-        """
+    def _run_pool_scenario(self, fast_path: bool):
         from repro.bench.common import (
-            _IcgReadOp, build_cassandra_scenario, cassandra_config_for,
+            build_cassandra_scenario, cassandra_config_for,
             run_multi_region_load)
         from repro.sim.topology import Region
         from repro.workloads.ycsb import workload_by_name
 
-        icg_before = _IcgReadOp.pool_stats()
-        outstanding_before = icg_before["created"] - icg_before["free"]
         scenario = build_cassandra_scenario(
             seed=11, record_count=60, client_regions=(Region.IRL,),
             config=cassandra_config_for("CC2"))
         network = scenario.env.network
         network.pool_debug = True
+        network.fast_path = fast_path
         run_multi_region_load(
             scenario, "CC2", workload_by_name("A"), threads_per_client=2,
             duration_ms=2_000.0, warmup_ms=250.0, cooldown_ms=250.0, seed=11)
-        stats = network.pool_stats()
+        return scenario
+
+    def test_pools_recycle_without_leaking(self):
+        """Every pooled object acquired during a run goes back to its pool.
+
+        Runs the classic message path (the fused path sends no messages)
+        with the network pool's debug assertions armed (they fire on
+        recycling a still-referenced message or double-recycling), then
+        checks the counters: shells are actually reused, the free list only
+        ever holds created shells, and no ICG per-op record stays
+        outstanding once the run drains.
+        """
+        from repro.bench.common import _IcgReadOp
+
+        icg_before = _IcgReadOp.pool_stats()
+        outstanding_before = icg_before["created"] - icg_before["free"]
+        scenario = self._run_pool_scenario(fast_path=False)
+        stats = scenario.env.network.pool_stats()
         assert stats["reused"] > 0, "message pool never recycled a shell"
         assert stats["free"] <= stats["created"]
         assert stats["recycled"] >= stats["reused"]
         icg_after = _IcgReadOp.pool_stats()
         assert icg_after["created"] - icg_after["free"] == \
             outstanding_before, "an ICG per-op record leaked"
+
+    def test_fused_pools_recycle_without_leaking(self):
+        """A fused fault-free run sends zero messages and leaks no records.
+
+        Every FusedRead/FusedWrite acquired during the run must be back in
+        its pool once the run drains (outstanding = created + reused -
+        recycled stays put), and the message pool must stay untouched —
+        proof the whole protocol ran fused.
+        """
+        from repro.cassandra_sim.coordinator import FusedRead, FusedWrite
+
+        def outstanding(pool) -> int:
+            stats = pool.pool_stats()
+            return stats["created"] + stats["reused"] - stats["recycled"]
+
+        reads_before = outstanding(FusedRead)
+        writes_before = outstanding(FusedWrite)
+        acquired_before = FusedRead.created + FusedRead.reused
+        scenario = self._run_pool_scenario(fast_path=True)
+        stats = scenario.env.network.pool_stats()
+        assert stats["created"] == 0, "a fused run materialized a Message"
+        assert scenario.env.network.messages_sent > 0
+        assert FusedRead.created + FusedRead.reused > acquired_before, \
+            "the fused read path never ran"
+        assert outstanding(FusedRead) == reads_before, \
+            "a FusedRead record leaked"
+        assert outstanding(FusedWrite) == writes_before, \
+            "a FusedWrite record leaked"
+
+    def test_live_counter_matches_scan_under_fused_load(self):
+        """The O(1) live counter equals the O(n) queue scan throughout a run.
+
+        Drives the fused closed-loop CC2 load (wheel + fast path on, the
+        shipping defaults) in slices, auditing
+        ``pending(live_only=True) == _scan_live()`` at every slice boundary
+        — while timeouts are being scheduled and cancelled — and again
+        after the full drain, where both must reach zero.
+        """
+        from repro.bench.common import (
+            build_cassandra_scenario, cassandra_config_for,
+            make_generator_factory, make_kv_issue)
+        from repro.sim.topology import Region
+        from repro.workloads.runner import ClosedLoopRunner
+        from repro.workloads.ycsb import workload_by_name
+
+        scenario = build_cassandra_scenario(
+            seed=11, record_count=60,
+            client_regions=(Region.IRL, Region.FRK),
+            config=cassandra_config_for("CC2"))
+        scheduler = scenario.env.scheduler
+        assert scheduler.wheel and scenario.env.network.fast_path
+        spec = workload_by_name("A")
+        runners = [
+            ClosedLoopRunner(
+                scheduler=scheduler,
+                issue=make_kv_issue(client, "CC2"),
+                make_generator=make_generator_factory(
+                    spec, scenario.dataset, 11, f"CC2-{region}"),
+                threads=2, duration_ms=2_500.0, warmup_ms=500.0,
+                cooldown_ms=250.0, label=f"audit-{region}")
+            for region, client in scenario.clients.items()]
+        for runner in runners:
+            runner.start()
+        end = max(runner.end_time for runner in runners)
+        for slice_index in range(1, 9):
+            scenario.env.run(until=end * slice_index / 8.0)
+            assert scheduler.pending(live_only=True) == \
+                scheduler._scan_live()
+        scenario.env.run_until_idle()
+        assert scheduler.pending(live_only=True) == 0
+        assert scheduler._scan_live() == 0
+
+    @staticmethod
+    def _forced_switches(wheel: bool, fast_path: bool):
+        """Context: every Scheduler/Network built inside starts with the
+        given kill-switch settings.  The figure harnesses build their
+        environments internally, so the switches are applied at
+        construction — before any event is scheduled."""
+        import contextlib
+
+        from repro.sim.network import Network
+        from repro.sim.scheduler import Scheduler
+
+        @contextlib.contextmanager
+        def forced():
+            scheduler_init = Scheduler.__init__
+            network_init = Network.__init__
+
+            def patched_scheduler(self, *args, **kwargs):
+                scheduler_init(self, *args, **kwargs)
+                self.wheel = wheel
+
+            def patched_network(self, *args, **kwargs):
+                network_init(self, *args, **kwargs)
+                self.fast_path = fast_path
+
+            Scheduler.__init__ = patched_scheduler
+            Network.__init__ = patched_network
+            try:
+                yield
+            finally:
+                Scheduler.__init__ = scheduler_init
+                Network.__init__ = network_init
+
+        return forced()
+
+    def test_fig13_slice_identical_with_switches_off(self):
+        """A fault-injection slice is bit-identical without wheel/fast path.
+
+        The golden figure hashes only cover fig06/09/14/15/16; this pins
+        the fault family (replica crash + recovery, client failover,
+        timeout cancellation storms) to the same record under the classic
+        heap scheduler and the unfused message path.
+        """
+        from repro.bench.fig13_faults import run_fig13_scenario
+
+        kwargs = dict(workload="B", threads_per_client=2,
+                      duration_ms=6_000.0, warmup_ms=1_500.0,
+                      cooldown_ms=500.0, record_count=150)
+        reference = run_fig13_scenario("replica-crash", **kwargs)
+        with self._forced_switches(wheel=False, fast_path=True):
+            assert run_fig13_scenario("replica-crash", **kwargs) == reference
+        with self._forced_switches(wheel=True, fast_path=False):
+            assert run_fig13_scenario("replica-crash", **kwargs) == reference
+
+    def test_fig16_cell_identical_with_switches_off(self):
+        """A 2PC coordinator-failover cell is invariant to the fast paths.
+
+        Transactions exercise the one code path the closed-loop figures do
+        not: long decision timeouts parked on the overflow ring, then
+        cancelled en masse at failover.  Record and executed-event count
+        must both match with every switch off.
+        """
+        from repro.bench.fig16_txn import run_fig16_cell
+
+        kwargs = dict(scenario="coordinator-crash-mid-commit",
+                      keys_per_txn=2, nodes=3, coordinators=2,
+                      rate_txn_s=25.0, duration_ms=6_000.0,
+                      fault_at_ms=2_500.0, fault_duration_ms=2_500.0,
+                      decision_log_ms=2.0, record_count=120, seed=42)
+        reference, reference_env = run_fig16_cell(**kwargs)
+        with self._forced_switches(wheel=False, fast_path=False):
+            record, env = run_fig16_cell(**kwargs)
+        assert record == reference
+        assert env.scheduler.events_executed == \
+            reference_env.scheduler.events_executed
 
     @pytest.mark.slow
     def test_quick_figures_match_golden(self):

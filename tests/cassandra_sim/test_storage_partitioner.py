@@ -10,7 +10,7 @@ from repro.cassandra_sim.partitioner import (
     node_tokens,
     token_in_range,
 )
-from repro.cassandra_sim.storage import LocalTable
+from repro.cassandra_sim.storage import ColumnarTable, LocalTable
 from repro.cassandra_sim.versions import VersionedValue, resolve
 
 
@@ -98,6 +98,71 @@ def test_lww_register_converges_regardless_of_order(writes):
         backward.apply("k", version)
     assert forward.read("k") == backward.read("k")
     assert forward.read("k") == resolve(versions)
+
+
+class TestColumnarTable:
+    def test_read_missing_returns_none(self):
+        assert ColumnarTable().read("nope") is None
+
+    def test_roundtrip_reconstructs_exact_versions(self):
+        table = ColumnarTable()
+        version = VersionedValue("v", (1.25, "n", 3))
+        assert table.apply("k", version)
+        got = table.read("k")
+        assert got == version
+        assert type(got.timestamp[0]) is float
+        assert type(got.timestamp[2]) is int
+
+    def test_tie_breaking_matches_tuple_order(self):
+        table = ColumnarTable()
+        table.apply("k", VersionedValue("a", (1.0, "node-a", 5)))
+        assert table.apply("k", VersionedValue("b", (1.0, "node-b", 1)))
+        assert not table.apply("k", VersionedValue("c", (1.0, "node-a", 9)))
+        assert table.read("k").value == "b"
+
+    def test_from_table_carries_rows_and_counters(self):
+        source = LocalTable()
+        source.apply("a", VersionedValue("x", (1.0, "n", 1)))
+        source.apply("b", VersionedValue("y", (2.0, "n", 2)))
+        source.read("a")
+        columnar = ColumnarTable.from_table(source)
+        assert len(columnar) == 2
+        assert columnar.keys() == source.keys()
+        assert columnar.reads == source.reads
+        assert columnar.writes_applied == source.writes_applied
+        assert list(columnar.items()) == list(source.items())
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["k1", "k2", "k3", "k4"]),
+              st.booleans(),
+              st.floats(min_value=0, max_value=100, allow_nan=False),
+              st.sampled_from(["n1", "n2", "n3"]),
+              st.integers(min_value=0, max_value=10),
+              st.integers()),
+    max_size=60))
+def test_columnar_table_equivalent_to_local_table(ops):
+    """Both backends agree on every operation of any read/write sequence.
+
+    This is the contract that lets clusters flip to columnar storage above
+    the record threshold without changing any experiment's results: reads,
+    apply outcomes (including LWW tie-breaking), lengths, key order and
+    counters are pairwise identical at every step.
+    """
+    local, columnar = LocalTable(), ColumnarTable()
+    for key, is_write, ts, writer, seq, value in ops:
+        if is_write:
+            version = VersionedValue(value, (ts, writer, seq))
+            assert local.apply(key, version) == columnar.apply(key, version)
+        else:
+            assert local.read(key) == columnar.read(key)
+        assert local.contains(key) == columnar.contains(key)
+        assert local.get(key) == columnar.get(key)
+    assert len(local) == len(columnar)
+    assert local.keys() == columnar.keys()
+    assert list(local.items()) == list(columnar.items())
+    for counter in ("reads", "writes_applied", "writes_ignored"):
+        assert getattr(local, counter) == getattr(columnar, counter)
 
 
 class TestPartitioner:

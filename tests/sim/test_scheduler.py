@@ -255,6 +255,139 @@ class TestCancellationBookkeeping:
         assert seen == list(range(590, 600))
 
 
+class TestTimingWheel:
+    """Edge cases of the timing-wheel backend (overflow ring, cancellation
+    inside buckets, kill-switch transitions).  Every test cross-checks the
+    O(1) live counter against the O(n) :meth:`Scheduler._scan_live` audit."""
+
+    def audit(self, scheduler):
+        assert scheduler.pending(live_only=True) == scheduler._scan_live()
+
+    def test_overflow_heap_migrates_into_wheel(self, scheduler):
+        # Horizon is 1024 slots x 1 ms: 1500/2500/5000 ms start on the
+        # overflow heap, 100/900 ms in wheel buckets.
+        order = []
+        for delay in (2500.0, 100.0, 5000.0, 900.0, 1500.0):
+            scheduler.schedule(delay, order.append, delay)
+        assert len(scheduler._heap) == 3
+        assert scheduler._wheel_count == 2
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert order == [100.0, 900.0, 1500.0, 2500.0, 5000.0]
+        assert not scheduler._heap
+        self.audit(scheduler)
+
+    def test_overflow_migration_across_many_horizons(self, scheduler):
+        # Timestamps spread over ~6 wheel horizons force repeated lazy
+        # migration sweeps; interleaved near events keep the cursor moving.
+        observed = []
+        delays = [float(i * 613 % 6000) + 0.25 for i in range(64)]
+        for delay in delays:
+            scheduler.schedule(delay, lambda: observed.append(scheduler.now()))
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+        self.audit(scheduler)
+
+    def test_same_tick_submission_order_after_migration(self, scheduler):
+        # Two entries at the same far-future instant arrive via the overflow
+        # heap; migration must preserve (time, seq) submission order.
+        order = []
+        scheduler.schedule(3000.0, order.append, "first")
+        scheduler.schedule(3000.0, order.append, "second")
+        scheduler.run_until_idle()
+        assert order == ["first", "second"]
+
+    def test_cancel_inside_noncursor_bucket(self, scheduler):
+        seen = []
+        keep = scheduler.schedule(700.0, seen.append, "keep")
+        drop = scheduler.schedule(700.0, seen.append, "drop")
+        assert scheduler._wheel_count == 2
+        drop.cancel()
+        assert scheduler.pending(live_only=True) == 1
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert seen == ["keep"]
+        assert scheduler.pending() == 0
+
+    def test_cancel_overflow_entry_before_migration(self, scheduler):
+        seen = []
+        dead = scheduler.schedule(4000.0, seen.append, "dead")
+        scheduler.schedule(4500.0, seen.append, "live")
+        dead.cancel()
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert seen == ["live"]
+        assert scheduler.events_executed == 1
+
+    def test_mass_cancel_purges_wheel_buckets(self, scheduler):
+        # All 2000 events live in wheel buckets (within the horizon); the
+        # lazy purge must compact the buckets themselves, not just the heap.
+        events = [scheduler.schedule(float(i % 1000) + 1.5, lambda: None)
+                  for i in range(2000)]
+        assert scheduler._wheel_count == 2000
+        for event in events[:1500]:
+            event.cancel()
+        assert scheduler.pending() < 2000
+        assert scheduler.pending(live_only=True) == 500
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert scheduler.events_executed == 500
+
+    def test_wheel_off_dumps_buckets_then_on_reanchors(self, scheduler):
+        order = []
+        scheduler.schedule(50.0, order.append, "wheel")
+        scheduler.schedule(2000.0, order.append, "overflow")
+        scheduler.wheel = False
+        # The dump moved every bucketed entry to the heap; accounting and
+        # execution order are unchanged.
+        assert scheduler._wheel_count == 0
+        assert len(scheduler._heap) == 2
+        self.audit(scheduler)
+        scheduler.run(until=100.0)
+        assert order == ["wheel"]
+        scheduler.wheel = True
+        scheduler.schedule(10.0, order.append, "late-wheel")
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert order == ["wheel", "late-wheel", "overflow"]
+        assert scheduler.events_executed == 3
+
+    def test_wheel_toggle_matches_heap_trace(self):
+        # The same schedule executes in the same (time, seq) order with the
+        # wheel on, off, and toggled mid-run.
+        def load(scheduler):
+            for i in range(200):
+                scheduler.schedule(float(i * 37 % 1500) + 0.5, lambda: None)
+
+        def trace_with(toggle):
+            scheduler = Scheduler()
+            trace = scheduler.start_trace()
+            load(scheduler)
+            if toggle == "off":
+                scheduler.wheel = False
+            scheduler.run(until=750.0)
+            if toggle == "mid":
+                scheduler.wheel = False
+            scheduler.run_until_idle()
+            return trace
+
+        assert trace_with("on") == trace_with("off") == trace_with("mid")
+
+    def test_run_until_leaves_cursor_consistent(self, scheduler):
+        # Stopping at an `until` bound inside the horizon must keep the
+        # insert invariant: a new earlier-but-future event still runs first.
+        seen = []
+        scheduler.schedule(500.0, seen.append, "far")
+        scheduler.run(until=200.0)
+        assert scheduler.now() == 200.0
+        scheduler.schedule(100.0, seen.append, "near")
+        self.audit(scheduler)
+        scheduler.run_until_idle()
+        assert seen == ["near", "far"]
+
+
 class TestTrace:
     def test_trace_records_time_and_seq(self, scheduler):
         trace = scheduler.start_trace()
