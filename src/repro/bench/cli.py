@@ -21,6 +21,7 @@ It also hosts the wall-clock performance harness (see :mod:`repro.bench.perf`)::
     python -m repro.bench perf
     python -m repro.bench perf --quick --profile 25
     python -m repro.bench perf --quick --check-regression
+    python -m repro.bench perf --quick --show-budget --no-save
 """
 
 from __future__ import annotations
@@ -185,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="with --profile: exit non-zero when any "
                            "subsystem's self-time share grows more than 10 "
                            "points over the best committed profile budget")
+    perf.add_argument("--show-budget", action="store_true",
+                      help="profile each scenario and print its fresh "
+                           "per-subsystem self-time shares next to the "
+                           "committed budget with per-bucket deltas in "
+                           "points (works without --profile; add --no-save "
+                           "to inspect without recording)")
     return parser
 
 
@@ -204,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          regression_gate=args.check_regression,
                          events_floors=args.events_floors,
                          budget_drift=args.budget_drift,
+                         show_budget=args.show_budget,
                          seed=args.seed, jobs=jobs)
     names = list(_FIGURES) if args.figure == "all" else [args.figure]
     # With an explicit figure, --histograms on an unsupported harness is a

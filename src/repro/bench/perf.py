@@ -15,6 +15,7 @@ project keeps a performance trajectory across PRs::
     python -m repro.bench perf --profile 25    # cProfile top-25 per scenario
     python -m repro.bench perf --check-regression   # gate: fail on >2x slowdown
     python -m repro.bench perf --jobs 4        # scenarios across 4 processes
+    python -m repro.bench perf --show-budget   # committed vs fresh profile budget
 
 The scenarios are deterministic: for a given scale the event and operation
 counts never change, only the wall-clock time does.  Speedups are reported
@@ -542,6 +543,34 @@ def format_budget(name: str, budget: Dict[str, Any]) -> str:
               f"profiled self time)")
 
 
+def format_budget_comparison(name: str, fresh: Dict[str, Any],
+                             committed: Optional[Dict[str, Any]]) -> str:
+    """Render one scenario's fresh profile next to its committed budget.
+
+    The delta column is in percentage points of profiled self time — the
+    same units :func:`check_budget_drift` gates on — so a reviewer can read
+    how far a scenario sits from tripping the drift allowance before
+    committing a re-recorded entry.
+    """
+    from repro.metrics.summary import format_table
+
+    order = [bucket for bucket, _ in _BUDGET_BUCKETS] + ["other"]
+    rows = []
+    for bucket in order:
+        share = fresh["shares"].get(bucket, 0.0)
+        if committed is None:
+            rows.append([bucket, "-", f"{share * 100.0:.1f}%", "-"])
+            continue
+        ref = committed["shares"].get(bucket, 0.0)
+        rows.append([bucket, f"{ref * 100.0:.1f}%", f"{share * 100.0:.1f}%",
+                     f"{(share - ref) * 100.0:+.1f}"])
+    title = f"Budget vs committed: {name}"
+    if committed is None:
+        title += " (no committed budget at this scale — fresh only)"
+    return format_table(["subsystem", "committed", "fresh", "delta (pts)"],
+                        rows, title=title)
+
+
 #: Scenario executions accumulated into one profiler per scenario.  A
 #: single pass gives shares noisy enough (several points run-to-run on the
 #: sub-second quick scenarios) to trip the 10-point drift gate on jitter;
@@ -567,6 +596,7 @@ def _profile(fn: Callable[..., Dict[str, int]], kwargs: Dict[str, Any],
 def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
              repeats: int = 3, profile_top: int = 0,
              seed: Optional[int] = None, jobs: JobsSpec = 1,
+             collect_budget: bool = False,
              echo: Callable[[str], None] = print) -> Dict[str, Any]:
     """Measure every requested scenario; returns the scenario -> stats map.
 
@@ -578,8 +608,12 @@ def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
     repeats stay inside one worker).  Co-scheduled scenarios contend for
     cores, so per-scenario wall times are only comparable between runs at
     the same ``jobs``; the trajectory records the job count per entry for
-    exactly that reason.  Profiling (``profile_top``) forces serial
-    execution.
+    exactly that reason.  Profiling (``profile_top`` or ``collect_budget``)
+    forces serial execution.
+
+    ``collect_budget`` records each scenario's ``profile_budget`` even when
+    ``profile_top`` is 0, without printing the top-N listing or the budget
+    table — the ``--show-budget`` comparison does its own rendering.
     """
     jobs = resolve_jobs(jobs)
     names = list(scenarios) if scenarios else list(PERF_SCENARIOS)
@@ -594,18 +628,19 @@ def run_perf(scenarios: Optional[Sequence[str]] = None, quick: bool = False,
             kwargs["seed"] = seed
         tasks.append((name, fn, kwargs))
     measured: Dict[str, Any] = {}
-    if jobs == 1 or profile_top > 0 or len(tasks) <= 1:
+    if jobs == 1 or profile_top > 0 or collect_budget or len(tasks) <= 1:
         for name, fn, kwargs in tasks:
             measured[name] = _measure(fn, kwargs, repeats)
-            if profile_top > 0:
+            if profile_top > 0 or collect_budget:
                 # The profiled run is separate from the timed repeats, so
                 # wall_s stays uninstrumented; only the budget shares (which
                 # are host- and overhead-insensitive ratios) are recorded.
-                text, budget = _profile(fn, kwargs, profile_top)
+                text, budget = _profile(fn, kwargs, max(profile_top, 1))
                 measured[name]["profile_budget"] = budget
-                echo(f"--- cProfile top {profile_top}: {name} ---")
-                echo(text)
-                echo(format_budget(name, budget))
+                if profile_top > 0:
+                    echo(f"--- cProfile top {profile_top}: {name} ---")
+                    echo(text)
+                    echo(format_budget(name, budget))
         return measured
     from concurrent.futures import ProcessPoolExecutor
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
@@ -889,7 +924,7 @@ def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
               output: Optional[str] = None, save: bool = True,
               regression_gate: bool = False,
               events_floors: Optional[Sequence[str]] = None,
-              budget_drift: bool = False,
+              budget_drift: bool = False, show_budget: bool = False,
               seed: Optional[int] = None, jobs: JobsSpec = 1) -> int:
     """Entry point behind ``python -m repro.bench perf``."""
     jobs = resolve_jobs(jobs)
@@ -901,10 +936,19 @@ def main_perf(quick: bool = False, repeats: int = 3, profile_top: int = 0,
     floors = parse_floor_specs(events_floors)
     trajectory = load_trajectory(path)
     measured = run_perf(scenarios=scenarios, quick=quick, repeats=repeats,
-                        profile_top=profile_top, seed=seed, jobs=jobs)
+                        profile_top=profile_top, seed=seed, jobs=jobs,
+                        collect_budget=show_budget)
     committed = gate_reference(trajectory, quick, jobs=jobs,
                                measured=measured)
     print(format_perf(measured, baseline=baseline_entry(trajectory, quick)))
+    if show_budget:
+        budget_refs = budget_reference(trajectory, quick, jobs=jobs,
+                                       measured=measured)
+        for name, stats in measured.items():
+            fresh = stats.get("profile_budget")
+            if fresh is not None:
+                print(format_budget_comparison(name, fresh,
+                                               budget_refs.get(name)))
     gate_ok = True
     if regression_gate:
         if committed is None:

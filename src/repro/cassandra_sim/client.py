@@ -72,6 +72,14 @@ class CassandraClient(FailoverMixin, Node):
         #: Preliminary views that arrived after the final response — the
         #: client-side analogue of ``Correctable.discarded_updates``.
         self.late_preliminaries = 0
+        # Fused continuations, bound once: coordinators pass these to fused
+        # sends, and an instance-attribute load avoids materializing a new
+        # bound method per reply hop.
+        self._fused_read_preliminary = self._fused_read_preliminary
+        self._fused_read_final = self._fused_read_final
+        self._fused_read_error = self._fused_read_error
+        self._fused_write_ack = self._fused_write_ack
+        self._fused_write_error = self._fused_write_error
 
     # -- issuing operations -------------------------------------------------
     def _fused_eligible(self) -> bool:
@@ -95,6 +103,75 @@ class CassandraClient(FailoverMixin, Node):
             coordinator = self.network.node(self._contacts[0])
             self._fused_coordinator = coordinator
         return coordinator
+
+    # -- lean op pipeline -----------------------------------------------------
+    # ``protocol.lean_ops``: completions are delivered *positionally* to a
+    # pooled sink object instead of through per-op response dicts.  A sink
+    # implements ``deliver_read_preliminary(value, timestamp, latency_ms)``,
+    # ``deliver_read_final(value, timestamp, latency_ms, is_confirmation)``,
+    # ``deliver_read_error(error, latency_ms)``,
+    # ``deliver_write_ack(timestamp, latency_ms)`` and
+    # ``deliver_write_error(error, latency_ms)``.  Latencies, byte sizes,
+    # counters, and the (time, seq) event order are identical to the dict
+    # pipeline — only the Python allocations differ.
+
+    def lean_ready(self) -> bool:
+        """Whether operations issued now may take the lean pipeline.
+
+        The ``protocol.lean_ops`` kill-switch plus the fused-path gate:
+        checked per issued operation, so a mid-run flip or a fault
+        configuration (timeouts, fallback contacts, read repair) routes
+        subsequent operations back to the classic dict pipeline.
+        """
+        return self.network.lean_ops and self._fused_eligible()
+
+    def lean_read(self, key: str, r: int, icg: bool, sink: Any) -> None:
+        """Fused read delivering to ``sink`` (caller checked lean_ready)."""
+        next(self._req_ids)
+        self.reads_sent += 1
+        coordinator = self._fused_coordinator
+        if coordinator is None:
+            coordinator = self._fused_contact()
+        rec = FusedRead.acquire()
+        rec.client = self
+        rec.coordinator = coordinator
+        rec.key = key
+        rec.r = r
+        rec.icg = icg
+        rec.sent_at = self.scheduler.clock._now
+        rec.on_preliminary = None
+        rec.on_final = None
+        rec.lean = sink
+        self.network.fused_send_to(
+            self, coordinator.name,
+            MESSAGE_HEADER_BYTES + self.config.key_size_bytes + 8,
+            coordinator._fused_client_read, rec.args)
+
+    def lean_write(self, key: str, value: Any, w: int, sink: Any) -> None:
+        """Fused write delivering to ``sink`` (caller checked lean_ready)."""
+        next(self._req_ids)
+        self.writes_sent += 1
+        if type(value) is str and value.isascii():
+            value_bytes = len(value)
+        else:
+            value_bytes = estimate_payload_size(value)
+        coordinator = self._fused_coordinator
+        if coordinator is None:
+            coordinator = self._fused_contact()
+        rec = FusedWrite.acquire()
+        rec.client = self
+        rec.coordinator = coordinator
+        rec.key = key
+        rec.value = value
+        rec.version = None
+        rec.w = w
+        rec.sent_at = self.scheduler.clock._now
+        rec.on_final = None
+        rec.lean = sink
+        self.network.fused_send_to(
+            self, coordinator.name,
+            MESSAGE_HEADER_BYTES + self.config.key_size_bytes + value_bytes,
+            coordinator._fused_client_write, rec.args)
 
     def read(self, key: str, r: int = 1, icg: bool = False,
              on_preliminary: Optional[ResponseCallback] = None,
@@ -121,10 +198,10 @@ class CassandraClient(FailoverMixin, Node):
             rec.sent_at = self.scheduler.clock._now
             rec.on_preliminary = on_preliminary
             rec.on_final = on_final
-            network.fused_send(
-                self._fused_route_to(coordinator.name),
+            network.fused_send_to(
+                self, coordinator.name,
                 MESSAGE_HEADER_BYTES + config.key_size_bytes + 8,
-                coordinator._fused_client_read, (rec,))
+                coordinator._fused_client_read, rec.args)
             return req_id
         pending = _PendingRequest(
             kind="read", sent_at=self.scheduler.now(),
@@ -166,11 +243,11 @@ class CassandraClient(FailoverMixin, Node):
             rec.w = w
             rec.sent_at = self.scheduler.clock._now
             rec.on_final = on_final
-            network.fused_send(
-                self._fused_route_to(coordinator.name),
+            network.fused_send_to(
+                self, coordinator.name,
                 (MESSAGE_HEADER_BYTES + config.key_size_bytes
                  + value_bytes),
-                coordinator._fused_client_write, (rec,))
+                coordinator._fused_client_write, rec.args)
             return req_id
         pending = _PendingRequest(
             kind="write", sent_at=self.scheduler.now(), on_final=on_final,
@@ -338,7 +415,12 @@ class CassandraClient(FailoverMixin, Node):
         version = rec.preliminary
         value = version.value if version is not None else None
         rec.prelim_value = value
-        if rec.on_preliminary is not None:
+        lean = rec.lean
+        if lean is not None:
+            lean.deliver_read_preliminary(
+                value, version.timestamp if version is not None else None,
+                self.scheduler.clock._now - rec.sent_at)
+        elif rec.on_preliminary is not None:
             rec.on_preliminary({
                 "value": value,
                 "found": version is not None,
@@ -362,8 +444,18 @@ class CassandraClient(FailoverMixin, Node):
             value = rec.prelim_value
         else:
             value = version.value if version is not None else None
-        found = version is not None
         timestamp = version.timestamp if version is not None else None
+        lean = rec.lean
+        if lean is not None:
+            sent_at = rec.sent_at
+            if not rec.flush_pending \
+                    and (not rec.preliminary_sent or rec.prelim_seen):
+                FusedRead.release(rec)
+            lean.deliver_read_final(
+                value, timestamp, self.scheduler.clock._now - sent_at,
+                is_confirmation)
+            return
+        found = version is not None
         cb = rec.on_final
         sent_at = rec.sent_at
         if not rec.flush_pending and (not rec.preliminary_sent or rec.prelim_seen):
@@ -386,10 +478,14 @@ class CassandraClient(FailoverMixin, Node):
             return
         net.messages_delivered += 1
         self.failed_requests += 1
+        lean = rec.lean
         cb = rec.on_final
         sent_at = rec.sent_at
         FusedRead.release(rec)
-        if cb is not None:
+        if lean is not None:
+            lean.deliver_read_error(
+                error, self.scheduler.clock._now - sent_at)
+        elif cb is not None:
             cb({
                 "value": None,
                 "found": False,
@@ -406,11 +502,16 @@ class CassandraClient(FailoverMixin, Node):
             return
         net.messages_delivered += 1
         rec.client_done = True
+        lean = rec.lean
         cb = rec.on_final
         sent_at = rec.sent_at
         timestamp = rec.version.timestamp
-        if len(rec.acks) >= rec.acks_expected:
+        if rec.ack_count >= rec.acks_expected:
             FusedWrite.release(rec)
+        if lean is not None:
+            lean.deliver_write_ack(
+                timestamp, self.scheduler.clock._now - sent_at)
+            return
         if cb is not None:
             cb({
                 "value": True,
@@ -428,9 +529,14 @@ class CassandraClient(FailoverMixin, Node):
             return
         net.messages_delivered += 1
         self.failed_requests += 1
+        lean = rec.lean
         cb = rec.on_final
         sent_at = rec.sent_at
         FusedWrite.release(rec)
+        if lean is not None:
+            lean.deliver_write_error(
+                error, self.scheduler.clock._now - sent_at)
+            return
         if cb is not None:
             cb({
                 "value": None,

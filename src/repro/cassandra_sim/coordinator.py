@@ -103,10 +103,10 @@ class FusedRead:
     """
 
     __slots__ = ("client", "coordinator", "key", "r", "icg", "sent_at",
-                 "on_preliminary", "on_final", "count", "best", "local",
-                 "local_version", "preliminary", "preliminary_sent",
+                 "on_preliminary", "on_final", "lean", "count", "best",
+                 "local", "local_version", "preliminary", "preliminary_sent",
                  "final_sent", "prelim_seen", "prelim_value", "final_done",
-                 "flush_pending", "contacted", "recyclable")
+                 "flush_pending", "contacted", "recyclable", "args")
 
     _pool: List["FusedRead"] = []
     created = 0
@@ -115,6 +115,9 @@ class FusedRead:
 
     def __init__(self) -> None:
         self.contacted: List[str] = []
+        #: The one-element args tuple every hop passes to the scheduler;
+        #: built once per record, shared across its pooled lifetimes.
+        self.args = (self,)
 
     @classmethod
     def acquire(cls) -> "FusedRead":
@@ -125,6 +128,7 @@ class FusedRead:
         else:
             rec = cls()
             cls.created += 1
+        rec.lean = None
         rec.count = 0
         rec.best = None
         rec.local = False
@@ -143,15 +147,9 @@ class FusedRead:
     def release(cls, rec: "FusedRead") -> None:
         if not rec.recyclable:
             return
-        rec.client = None
-        rec.coordinator = None
-        rec.key = None
-        rec.on_preliminary = None
-        rec.on_final = None
-        rec.best = None
-        rec.local_version = None
-        rec.preliminary = None
-        rec.prelim_value = None
+        # Only ``contacted`` must be scrubbed (the list is reused);
+        # ``acquire`` resets every protocol field, so the remaining
+        # references just sit in the bounded pool until reuse.
         rec.contacted.clear()
         if len(cls._pool) < 4096:
             cls.recycled += 1
@@ -164,11 +162,18 @@ class FusedRead:
 
 
 class FusedWrite:
-    """One fused write operation (see :class:`FusedRead`)."""
+    """One fused write operation (see :class:`FusedRead`).
+
+    Quorum state is counter-based on the happy path: ``ack_count`` drives
+    every quorum/release comparison, and the ``acks`` name list exists only
+    for the stale-epoch rescue paths (which must know *which* replicas
+    already acknowledged before re-sending).  The two are kept in lockstep.
+    """
 
     __slots__ = ("client", "coordinator", "key", "value", "version", "w",
-                 "sent_at", "on_final", "acks", "acks_expected",
-                 "acked_client", "client_done", "recyclable")
+                 "sent_at", "on_final", "lean", "acks", "ack_count",
+                 "acks_expected", "acked_client", "client_done", "recyclable",
+                 "args")
 
     _pool: List["FusedWrite"] = []
     created = 0
@@ -177,6 +182,8 @@ class FusedWrite:
 
     def __init__(self) -> None:
         self.acks: List[str] = []
+        #: See :attr:`FusedRead.args`.
+        self.args = (self,)
 
     @classmethod
     def acquire(cls) -> "FusedWrite":
@@ -187,6 +194,8 @@ class FusedWrite:
         else:
             rec = cls()
             cls.created += 1
+        rec.lean = None
+        rec.ack_count = 0
         rec.acks_expected = 0
         rec.acked_client = False
         rec.client_done = False
@@ -197,12 +206,8 @@ class FusedWrite:
     def release(cls, rec: "FusedWrite") -> None:
         if not rec.recyclable:
             return
-        rec.client = None
-        rec.coordinator = None
-        rec.key = None
-        rec.value = None
-        rec.version = None
-        rec.on_final = None
+        # Only ``acks`` must be scrubbed (the list is reused); ``acquire``
+        # resets every protocol field on the way back out of the pool.
         rec.acks.clear()
         if len(cls._pool) < 4096:
             cls.recycled += 1

@@ -32,6 +32,7 @@ enabled, replaces an identical final response with a small confirmation.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -42,8 +43,12 @@ from repro.cassandra_sim.coordinator import (FusedRead, FusedWrite,
 from repro.cassandra_sim.partitioner import RingPartitioner, StreamTask
 from repro.cassandra_sim.storage import LocalTable
 from repro.cassandra_sim.versions import VersionedValue
-from repro.sim.network import MESSAGE_HEADER_BYTES, Message, Network, estimate_payload_size
+from repro.sim.network import (LinkStats, MESSAGE_HEADER_BYTES, Message,
+                               Network, estimate_payload_size)
 from repro.sim.node import Node
+
+#: Wire size of the small fixed acknowledgements (write_ack and friends).
+_ACK_BYTES = MESSAGE_HEADER_BYTES + 10
 
 
 @dataclass(slots=True)
@@ -64,6 +69,11 @@ class CassandraReplica(Node):
                  config: CassandraConfig, partitioner: RingPartitioner) -> None:
         super().__init__(name, region, network)
         self.config = config
+        # Message-size bases, precomputed once: every fused hop charges one
+        # of these, and the config fields never change after construction.
+        self._req_base = MESSAGE_HEADER_BYTES + config.key_size_bytes
+        self._resp_base = MESSAGE_HEADER_BYTES + config.response_overhead_bytes
+        self._conf_base = MESSAGE_HEADER_BYTES + config.confirmation_bytes
         self.partitioner = partitioner
         self.table = LocalTable()
         #: Ring membership state: ``serving`` (normal), ``bootstrapping``
@@ -101,6 +111,22 @@ class CassandraReplica(Node):
         self.writes_forwarded = 0
         self.keys_streamed_out = 0
         self.keys_streamed_in = 0
+        # Fused continuations, bound once: every fused send passes one of
+        # these as its delivery callback, and an instance-attribute load
+        # here avoids materializing a fresh bound method per hop.
+        self._fused_client_read = self._fused_client_read
+        self._fused_client_write = self._fused_client_write
+        self._fused_read_req = self._fused_read_req
+        self._fused_write_req = self._fused_write_req
+        self._fused_read_resp = self._fused_read_resp
+        self._fused_on_write_ack = self._fused_on_write_ack
+        self._fused_read_stale = self._fused_read_stale
+        self._fused_write_stale = self._fused_write_stale
+        self._fused_coordinate_read = self._fused_coordinate_read
+        self._fused_coordinate_write = self._fused_coordinate_write
+        self._fused_serve_read = self._fused_serve_read
+        self._fused_apply_write = self._fused_apply_write
+        self._fused_flush_preliminary = self._fused_flush_preliminary
 
     # -- helpers --------------------------------------------------------------
     def _other_replicas_by_distance(self, key: str) -> List[str]:
@@ -648,20 +674,56 @@ class CassandraReplica(Node):
         if self.ring_state != "serving":
             self.stale_rejections += 1
             client = rec.client
-            net.fused_send(
-                self._fused_route_to(client.name),
+            net.fused_send_to(
+                self, client.name,
                 MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes,
                 client._fused_read_error,
                 (rec, f"coordinator {self.name} left the ring"))
             return
         self.reads_coordinated += 1
-        self._enqueue(self.config.read_service_ms,
-                      self._fused_coordinate_read, (rec,))
+        # Node._enqueue, inlined: service charge plus scheduler insert with
+        # no intermediate frames — this preamble runs once per fused read.
+        cost = self.config.read_service_ms * self.slowdown_factor
+        queue = self.queue
+        scheduler = queue._scheduler
+        now = scheduler.clock._now
+        busy = queue._busy_until
+        start = now if now > busy else busy
+        finish = start + cost
+        queue._busy_until = finish
+        queue.jobs_processed += 1
+        queue.busy_time += cost
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        entry = (finish, seq, self._fused_coordinate_read, rec.args, None, None)
+        if finish < scheduler._horizon:
+            tick = int(finish * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(
+                    scheduler._slots[tick & scheduler._wheel_mask], entry)
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(entry)
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap, entry)
 
     def _fused_coordinate_read(self, rec: FusedRead) -> None:
         key = rec.key
         config = self.config
-        local, targets = self._fused_plan(key)
+        # _fused_plan, inlined down to the stamp check + dict probe (the
+        # builder in _fused_plan stays the miss path).
+        network = self.network
+        if network.topology._version != network._topo_version:
+            network._sync_topology()
+        stamp = (self.partitioner.version, network._route_epoch)
+        if self._fused_plan_stamp != stamp:
+            self._fused_plans.clear()
+            self._fused_plan_stamp = stamp
+        plan = self._fused_plans.get(key)
+        if plan is None:
+            plan = self._fused_plan(key)
+        local, targets = plan
         if local:
             version = self.table.read(key)
             rec.local = True
@@ -672,33 +734,97 @@ class CassandraReplica(Node):
             rec.contacted.append(self.name)
             if rec.icg:
                 rec.flush_pending = True
-                self._enqueue(config.preliminary_flush_ms,
-                              self._fused_flush_preliminary, (rec,))
+                # Node._enqueue, inlined: the flush job runs once per ICG
+                # read, right on the hot path.
+                cost = config.preliminary_flush_ms * self.slowdown_factor
+                queue = self.queue
+                scheduler = queue._scheduler
+                now = scheduler.clock._now
+                busy = queue._busy_until
+                begin = now if now > busy else busy
+                finish = begin + cost
+                queue._busy_until = finish
+                queue.jobs_processed += 1
+                queue.busy_time += cost
+                seq = scheduler._seq
+                scheduler._seq = seq + 1
+                scheduler._live += 1
+                entry = (finish, seq, self._fused_flush_preliminary,
+                         rec.args, None, None)
+                if finish < scheduler._horizon:
+                    tick = int(finish * scheduler._wheel_inv)
+                    if tick == scheduler._cursor:
+                        heapq.heappush(
+                            scheduler._slots[tick & scheduler._wheel_mask],
+                            entry)
+                    else:
+                        scheduler._slots[tick & scheduler._wheel_mask].append(
+                            entry)
+                        scheduler._wheel_count += 1
+                else:
+                    heapq.heappush(scheduler._heap, entry)
         remote_needed = rec.r - rec.count
         if remote_needed > 0 and targets:
             if remote_needed < len(targets):
                 targets = targets[:remote_needed]
-            size = MESSAGE_HEADER_BYTES + config.key_size_bytes
-            net = self.network
+            size = self._req_base
+            # Network.fused_send, inlined per target minus its topology
+            # recheck — the plan probe above synced topology in this very
+            # event, so the plan routes cannot be stale here.  A singleton
+            # entry consumes the same (time, seq) as a direct insert.
+            net = network
             scheduler = net.scheduler
-            now = scheduler.clock._now
-            account = net.fused_account
+            clock = scheduler.clock
+            jitter_fraction = net._jitter_fraction
             contacted = rec.contacted
-            batch: list = []
-            batch_time = 0.0
             for node, route, read_req, _ in targets:
                 contacted.append(node.name)
-                delay = account(route, size)
-                if delay is None:
+                src_node, dst_node, stats, base, src_cell, dst_cell = route
+                if not src_node.alive:
+                    net.messages_dropped += 1
                     continue
-                at = now + delay
-                if batch and at != batch_time:
-                    scheduler.schedule_batch_at(batch_time, batch)
-                    batch = []
-                batch_time = at
-                batch.append((read_req, (rec,)))
-            if batch:
-                scheduler.schedule_batch_at(batch_time, batch)
+                net.messages_sent += 1
+                if stats is None:
+                    lkey = (src_node.name, dst_node.name)
+                    stats = net._links.get(lkey)
+                    if stats is None:
+                        stats = net._links[lkey] = LinkStats()
+                    route[2] = stats
+                stats.messages += 1
+                stats.bytes += size
+                src_cell[0] += size
+                if dst_cell is not None:
+                    dst_cell[0] += size
+                if net._partitioned or net._partitioned_regions:
+                    if net.is_partitioned(src_node.name, dst_node.name):
+                        net.messages_dropped += 1
+                        continue
+                if not dst_node.alive:
+                    net.messages_dropped += 1
+                    continue
+                if jitter_fraction > 0:
+                    delay = base + jitter_fraction * net._rand() * base
+                else:
+                    delay = base
+                if net._link_extra_ms:
+                    delay += net.link_extra_ms(src_node.name, dst_node.name)
+                seq = scheduler._seq
+                scheduler._seq = seq + 1
+                scheduler._live += 1
+                timestamp = clock._now + delay
+                entry = (timestamp, seq, read_req, rec.args, None, None)
+                if timestamp < scheduler._horizon:
+                    tick = int(timestamp * scheduler._wheel_inv)
+                    if tick == scheduler._cursor:
+                        heapq.heappush(
+                            scheduler._slots[tick & scheduler._wheel_mask],
+                            entry)
+                    else:
+                        scheduler._slots[tick & scheduler._wheel_mask].append(
+                            entry)
+                        scheduler._wheel_count += 1
+                else:
+                    heapq.heappush(scheduler._heap, entry)
         if rec.count >= rec.r and not rec.final_sent:
             self._fused_finish_read(rec)
 
@@ -719,10 +845,19 @@ class CassandraReplica(Node):
         rec.preliminary_sent = True
         self.preliminaries_flushed += 1
         client = rec.client
-        self.network.fused_send(
-            self._fused_route_to(client.name),
-            (MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes
-             + self._value_bytes(version)),
+        config = self.config
+        # _value_bytes, inlined (one preliminary flush per local ICG read).
+        if version is None:
+            vbytes = 8
+        else:
+            value = version.value
+            vbytes = (len(value) if type(value) is str and value.isascii()
+                      else estimate_payload_size(value))
+            if vbytes < config.value_size_bytes:
+                vbytes = config.value_size_bytes
+        self.network.fused_send_to(
+            self, client.name,
+            self._resp_base + vbytes,
             client._fused_read_preliminary, (rec, self.name))
 
     def _fused_read_req(self, rec: FusedRead) -> None:
@@ -731,8 +866,31 @@ class CassandraReplica(Node):
             net.messages_dropped += 1
             return
         net.messages_delivered += 1
-        self._enqueue(self.config.read_service_ms,
-                      self._fused_serve_read, (rec,))
+        # Node._enqueue, inlined (see _fused_client_read).
+        cost = self.config.read_service_ms * self.slowdown_factor
+        queue = self.queue
+        scheduler = queue._scheduler
+        now = scheduler.clock._now
+        busy = queue._busy_until
+        start = now if now > busy else busy
+        finish = start + cost
+        queue._busy_until = finish
+        queue.jobs_processed += 1
+        queue.busy_time += cost
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        entry = (finish, seq, self._fused_serve_read, rec.args, None, None)
+        if finish < scheduler._horizon:
+            tick = int(finish * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(
+                    scheduler._slots[tick & scheduler._wheel_mask], entry)
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(entry)
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap, entry)
 
     def _fused_serve_read(self, rec: FusedRead) -> None:
         config = self.config
@@ -740,16 +898,24 @@ class CassandraReplica(Node):
         if self.ring_state != "serving" \
                 or not self.partitioner.is_replica(self.name, rec.key):
             self.stale_rejections += 1
-            self.network.fused_send(
-                self._fused_route_to(coordinator.name),
-                MESSAGE_HEADER_BYTES + config.response_overhead_bytes,
-                coordinator._fused_read_stale, (rec,))
+            self.network.fused_send_to(
+                self, coordinator.name,
+                self._resp_base,
+                coordinator._fused_read_stale, rec.args)
             return
         version = self.table.read(rec.key)
-        self.network.fused_send(
-            self._fused_route_to(coordinator.name),
-            (MESSAGE_HEADER_BYTES + config.response_overhead_bytes
-             + self._value_bytes(version)),
+        # _value_bytes, inlined (one remote response per contacted replica).
+        if version is None:
+            vbytes = 8
+        else:
+            value = version.value
+            vbytes = (len(value) if type(value) is str and value.isascii()
+                      else estimate_payload_size(value))
+            if vbytes < config.value_size_bytes:
+                vbytes = config.value_size_bytes
+        self.network.fused_send_to(
+            self, coordinator.name,
+            self._resp_base + vbytes,
             coordinator._fused_read_resp, (rec, version, self.name))
 
     def _fused_read_resp(self, rec: FusedRead,
@@ -774,10 +940,20 @@ class CassandraReplica(Node):
             rec.preliminary_sent = True
             self.preliminaries_flushed += 1
             client = rec.client
-            net.fused_send(
-                self._fused_route_to(client.name),
-                (MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes
-                 + self._value_bytes(version)),
+            config = self.config
+            # _value_bytes, inlined (first remote response, non-local ICG).
+            if version is None:
+                vbytes = 8
+            else:
+                value = version.value
+                vbytes = (len(value)
+                          if type(value) is str and value.isascii()
+                          else estimate_payload_size(value))
+                if vbytes < config.value_size_bytes:
+                    vbytes = config.value_size_bytes
+            net.fused_send_to(
+                self, client.name,
+                self._resp_base + vbytes,
                 client._fused_read_preliminary, (rec, replica))
         if rec.count >= rec.r:
             self._fused_finish_read(rec)
@@ -796,13 +972,21 @@ class CassandraReplica(Node):
                             and matches_preliminary)
         if use_confirmation:
             self.confirmations_sent += 1
-            size = MESSAGE_HEADER_BYTES + config.confirmation_bytes
+            size = self._conf_base
         else:
-            size = (MESSAGE_HEADER_BYTES + config.response_overhead_bytes
-                    + self._value_bytes(newest))
+            # _value_bytes, inlined (one final response per read).
+            if newest is None:
+                vbytes = 8
+            else:
+                value = newest.value
+                vbytes = (len(value) if type(value) is str and value.isascii()
+                          else estimate_payload_size(value))
+                if vbytes < config.value_size_bytes:
+                    vbytes = config.value_size_bytes
+            size = self._resp_base + vbytes
         client = rec.client
-        self.network.fused_send(
-            self._fused_route_to(client.name), size,
+        self.network.fused_send_to(
+            self, client.name, size,
             client._fused_read_final,
             (rec, use_confirmation, matches_preliminary))
 
@@ -829,8 +1013,8 @@ class CassandraReplica(Node):
             needed -= 1
             contacted.append(name)
             node = net.node(name)
-            net.fused_send(self._fused_route_to(name), size,
-                           node._fused_read_req, (rec,))
+            net.fused_send_to(self, name, size,
+                              node._fused_read_req, rec.args)
         if not rec.local and self.partitioner.is_replica(self.name, rec.key):
             version = self.table.read(rec.key)
             rec.local = True
@@ -855,8 +1039,8 @@ class CassandraReplica(Node):
         if self.ring_state != "serving":
             self.stale_rejections += 1
             client = rec.client
-            net.fused_send(
-                self._fused_route_to(client.name),
+            net.fused_send_to(
+                self, client.name,
                 MESSAGE_HEADER_BYTES + self.config.response_overhead_bytes,
                 client._fused_write_error,
                 (rec, f"coordinator {self.name} left the ring"))
@@ -865,44 +1049,118 @@ class CassandraReplica(Node):
         rec.version = VersionedValue(
             rec.value,
             (self.scheduler.clock._now, self.name, next(self._write_seq)))
-        self._enqueue(self.config.write_service_ms,
-                      self._fused_coordinate_write, (rec,))
+        # Node._enqueue, inlined (see _fused_client_read).
+        cost = self.config.write_service_ms * self.slowdown_factor
+        queue = self.queue
+        scheduler = queue._scheduler
+        now = scheduler.clock._now
+        busy = queue._busy_until
+        start = now if now > busy else busy
+        finish = start + cost
+        queue._busy_until = finish
+        queue.jobs_processed += 1
+        queue.busy_time += cost
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        entry = (finish, seq, self._fused_coordinate_write, rec.args, None, None)
+        if finish < scheduler._horizon:
+            tick = int(finish * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(
+                    scheduler._slots[tick & scheduler._wheel_mask], entry)
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(entry)
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap, entry)
 
     def _fused_coordinate_write(self, rec: FusedWrite) -> None:
         key = rec.key
         config = self.config
-        local, targets = self._fused_plan(key)
+        net = self.network
+        # _fused_plan, inlined (see _fused_coordinate_read).
+        if net.topology._version != net._topo_version:
+            net._sync_topology()
+        stamp = (self.partitioner.version, net._route_epoch)
+        if self._fused_plan_stamp != stamp:
+            self._fused_plans.clear()
+            self._fused_plan_stamp = stamp
+        plan = self._fused_plans.get(key)
+        if plan is None:
+            plan = self._fused_plan(key)
+        local, targets = plan
         version = rec.version
         acks_expected = 0
         if local:
             self.table.apply(key, version)
             rec.acks.append(self.name)
+            rec.ack_count = 1
             acks_expected = 1
-        size = (MESSAGE_HEADER_BYTES + config.key_size_bytes
-                + self._value_bytes(version))
-        net = self.network
+        # _value_bytes, inlined (updates write one ASCII field).
+        value = version.value
+        vbytes = (len(value) if type(value) is str and value.isascii()
+                  else estimate_payload_size(value))
+        if vbytes < config.value_size_bytes:
+            vbytes = config.value_size_bytes
+        size = self._req_base + vbytes
         if targets:
+            # Network.fused_send, inlined per target minus its topology
+            # recheck (the plan probe above synced topology in this event).
+            # Only sends that were actually scheduled can ever ack; the
+            # record is released once all of them (plus the local apply)
+            # have, so absorbed late acks keep pool accounting exact.
             scheduler = net.scheduler
-            now = scheduler.clock._now
-            account = net.fused_account
-            batch: list = []
-            batch_time = 0.0
+            clock = scheduler.clock
+            jitter_fraction = net._jitter_fraction
             for node, route, _, write_req in targets:
-                delay = account(route, size)
-                if delay is None:
+                src_node, dst_node, stats, base, src_cell, dst_cell = route
+                if not src_node.alive:
+                    net.messages_dropped += 1
                     continue
-                # Only sends that were actually scheduled can ever ack; the
-                # record is released once all of them (plus the local apply)
-                # have, so absorbed late acks keep pool accounting exact.
+                net.messages_sent += 1
+                if stats is None:
+                    lkey = (src_node.name, dst_node.name)
+                    stats = net._links.get(lkey)
+                    if stats is None:
+                        stats = net._links[lkey] = LinkStats()
+                    route[2] = stats
+                stats.messages += 1
+                stats.bytes += size
+                src_cell[0] += size
+                if dst_cell is not None:
+                    dst_cell[0] += size
+                if net._partitioned or net._partitioned_regions:
+                    if net.is_partitioned(src_node.name, dst_node.name):
+                        net.messages_dropped += 1
+                        continue
+                if not dst_node.alive:
+                    net.messages_dropped += 1
+                    continue
+                if jitter_fraction > 0:
+                    delay = base + jitter_fraction * net._rand() * base
+                else:
+                    delay = base
+                if net._link_extra_ms:
+                    delay += net.link_extra_ms(src_node.name, dst_node.name)
+                seq = scheduler._seq
+                scheduler._seq = seq + 1
+                scheduler._live += 1
+                timestamp = clock._now + delay
+                entry = (timestamp, seq, write_req, (rec, True), None, None)
+                if timestamp < scheduler._horizon:
+                    tick = int(timestamp * scheduler._wheel_inv)
+                    if tick == scheduler._cursor:
+                        heapq.heappush(
+                            scheduler._slots[tick & scheduler._wheel_mask],
+                            entry)
+                    else:
+                        scheduler._slots[tick & scheduler._wheel_mask].append(
+                            entry)
+                        scheduler._wheel_count += 1
+                else:
+                    heapq.heappush(scheduler._heap, entry)
                 acks_expected += 1
-                at = now + delay
-                if batch and at != batch_time:
-                    scheduler.schedule_batch_at(batch_time, batch)
-                    batch = []
-                batch_time = at
-                batch.append((write_req, (rec, True)))
-            if batch:
-                scheduler.schedule_batch_at(batch_time, batch)
         rec.acks_expected = acks_expected
         pending = self.partitioner.pending_replicas_for(key)
         if pending:
@@ -912,9 +1170,9 @@ class CassandraReplica(Node):
                 self.writes_forwarded += 1
                 rec.recyclable = False
                 node = net.node(name)
-                net.fused_send(self._fused_route_to(name), size,
-                               node._fused_write_req, (rec, False))
-        if len(rec.acks) >= rec.w:
+                net.fused_send_to(self, name, size,
+                                  node._fused_write_req, (rec, False))
+        if rec.ack_count >= rec.w:
             self._fused_ack_client(rec)
 
     def _fused_write_req(self, rec: FusedWrite, ack: bool) -> None:
@@ -923,24 +1181,47 @@ class CassandraReplica(Node):
             net.messages_dropped += 1
             return
         net.messages_delivered += 1
-        self._enqueue(self.config.write_service_ms,
-                      self._fused_apply_write, (rec, ack))
+        # Node._enqueue, inlined (see _fused_client_read).
+        cost = self.config.write_service_ms * self.slowdown_factor
+        queue = self.queue
+        scheduler = queue._scheduler
+        now = scheduler.clock._now
+        busy = queue._busy_until
+        start = now if now > busy else busy
+        finish = start + cost
+        queue._busy_until = finish
+        queue.jobs_processed += 1
+        queue.busy_time += cost
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        entry = (finish, seq, self._fused_apply_write, (rec, ack), None, None)
+        if finish < scheduler._horizon:
+            tick = int(finish * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(
+                    scheduler._slots[tick & scheduler._wheel_mask], entry)
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(entry)
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap, entry)
 
     def _fused_apply_write(self, rec: FusedWrite, ack: bool) -> None:
         coordinator = rec.coordinator
         if self.ring_state == "retired":
             self.stale_rejections += 1
             if ack:
-                self.network.fused_send(
-                    self._fused_route_to(coordinator.name),
-                    MESSAGE_HEADER_BYTES + 10,
-                    coordinator._fused_write_stale, (rec,))
+                self.network.fused_send_to(
+                    self, coordinator.name,
+                    _ACK_BYTES,
+                    coordinator._fused_write_stale, rec.args)
             return
         self.table.apply(rec.key, rec.version)
         if ack:
-            self.network.fused_send(
-                self._fused_route_to(coordinator.name),
-                MESSAGE_HEADER_BYTES + 10,
+            self.network.fused_send_to(
+                self, coordinator.name,
+                _ACK_BYTES,
                 coordinator._fused_on_write_ack, (rec, self.name))
 
     def _fused_on_write_ack(self, rec: FusedWrite, replica: str) -> None:
@@ -949,12 +1230,15 @@ class CassandraReplica(Node):
             net.messages_dropped += 1
             return
         net.messages_delivered += 1
-        acks = rec.acks
-        if replica not in acks:
-            acks.append(replica)
-        if not rec.acked_client and len(acks) >= rec.w:
+        # Happy-path acks cannot duplicate (each target acks once); only a
+        # rescue re-send (recyclable already cleared) needs the name scan.
+        if rec.recyclable or replica not in rec.acks:
+            rec.acks.append(replica)
+            rec.ack_count += 1
+        count = rec.ack_count
+        if not rec.acked_client and count >= rec.w:
             self._fused_ack_client(rec)
-        if rec.client_done and len(acks) >= rec.acks_expected:
+        if rec.client_done and count >= rec.acks_expected:
             FusedWrite.release(rec)
 
     def _fused_write_stale(self, rec: FusedWrite) -> None:
@@ -973,15 +1257,15 @@ class CassandraReplica(Node):
             if name in acks:
                 continue
             node = net.node(name)
-            net.fused_send(self._fused_route_to(name), size,
-                           node._fused_write_req, (rec, True))
+            net.fused_send_to(self, name, size,
+                              node._fused_write_req, (rec, True))
 
     def _fused_ack_client(self, rec: FusedWrite) -> None:
         rec.acked_client = True
         client = rec.client
-        self.network.fused_send(
-            self._fused_route_to(client.name), MESSAGE_HEADER_BYTES + 10,
-            client._fused_write_ack, (rec,))
+        self.network.fused_send_to(
+            self, client.name, _ACK_BYTES,
+            client._fused_write_ack, rec.args)
 
     # -- range streaming (ring rebalance) ---------------------------------------
     def begin_stream(self, task: StreamTask,

@@ -33,6 +33,8 @@ from repro.cassandra_sim.versions import VersionedValue
 class LocalTable:
     """The key-value state one replica holds locally."""
 
+    __slots__ = ("_rows", "reads", "writes_applied", "writes_ignored")
+
     def __init__(self) -> None:
         self._rows: Dict[str, VersionedValue] = {}
         self.reads = 0
@@ -51,7 +53,8 @@ class LocalTable:
         therefore ignored.
         """
         current = self._rows.get(key)
-        if version.newer_than(current):
+        # VersionedValue.newer_than, inlined (one apply per replicated write).
+        if current is None or version.timestamp > current.timestamp:
             self._rows[key] = version
             self.writes_applied += 1
             return True

@@ -28,7 +28,14 @@ from repro.core.promise import Promise
 from repro.core.views import View
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.correctable import Correctable
+    from typing import Union
+
+    from repro.core.correctable import Correctable, LeanCorrectable
+
+    #: Anything speculation can attach to: a full Correctable or the pooled
+    #: lean flyweight (both expose ``set_callbacks`` and ``_clock``, which
+    #: is the entire surface this module touches).
+    SpeculationSource = Union["Correctable", "LeanCorrectable"]
 
 
 @dataclass
@@ -83,11 +90,17 @@ def _as_promise(result: Any) -> Promise:
     return Promise.resolved(result)
 
 
-def attach_speculation(source: "Correctable",
+def attach_speculation(source: "SpeculationSource",
                        speculation_fn: Callable[[Any], Any],
                        abort_fn: Optional[Callable[[Any], None]] = None,
                        stats: Optional[SpeculationStats] = None) -> "Correctable":
-    """Implementation behind :meth:`Correctable.speculate`."""
+    """Implementation behind :meth:`Correctable.speculate`.
+
+    ``source`` may be a full :class:`Correctable` or a pooled
+    :class:`~repro.core.correctable.LeanCorrectable` — only
+    ``set_callbacks`` (one callback per transition) and ``_clock`` are
+    used, and the derived Correctable is always a full one.
+    """
     from repro.core.correctable import Correctable
 
     derived = Correctable(clock=source._clock)

@@ -21,6 +21,8 @@ from typing import Iterable, List, Optional
 class LatencyRecorder:
     """Collects latency samples (milliseconds) and summarizes them exactly."""
 
+    __slots__ = ("name", "_samples", "_sorted")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._samples: List[float] = []
@@ -121,6 +123,10 @@ class HistogramRecorder:
     count, and mean / min / max are tracked exactly on the side.
     """
 
+    __slots__ = ("name", "resolution_ms", "precision_bits", "_inv_resolution",
+                 "_half", "_counts", "_count", "_sum", "_sum_sq", "_min",
+                 "_max", "_cumulative")
+
     def __init__(self, name: str = "", resolution_ms: float = 0.001,
                  precision_bits: int = 10) -> None:
         if resolution_ms <= 0:
@@ -151,7 +157,13 @@ class HistogramRecorder:
     def record(self, latency_ms: float) -> None:
         if latency_ms < 0:
             raise ValueError(f"negative latency: {latency_ms}")
-        index = self._index(latency_ms)
+        # _index, inlined: recording runs once per measured completion.
+        units = int(latency_ms * self._inv_resolution)
+        bucket = units.bit_length() - (self.precision_bits + 1)
+        if bucket <= 0:
+            index = units
+        else:
+            index = bucket * self._half + (units >> bucket)
         counts = self._counts
         if index >= len(counts):
             counts.extend([0] * (index + 1 - len(counts)))

@@ -8,6 +8,8 @@ inside the simulation reads time through :meth:`Clock.now`.
 class Clock:
     """A monotonically advancing simulated clock (milliseconds)."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 

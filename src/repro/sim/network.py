@@ -195,6 +195,14 @@ EMPTY_LINK_STATS = _FrozenLinkStats()
 class Network:
     """Delivers messages between registered nodes with WAN latencies."""
 
+    __slots__ = ("scheduler", "topology", "_clock", "_rand",
+                 "_jitter_fraction", "_nodes", "_links", "_node_cells",
+                 "_partitioned", "_partitioned_regions", "_link_extra_ms",
+                 "_routes", "_route_epoch", "_topo_version", "_msg_pool",
+                 "messages_sent", "messages_delivered", "messages_dropped",
+                 "pool_created", "pool_reused", "pool_recycled", "pool_debug",
+                 "fast_path", "lean_ops")
+
     def __init__(self, scheduler: Scheduler, topology: Topology) -> None:
         self.scheduler = scheduler
         self._clock = scheduler.clock
@@ -231,6 +239,13 @@ class Network:
         #: it when an operation is *issued*; in-flight fused operations
         #: complete fused after a flip.
         self.fast_path = True
+        #: Kill-switch for the lean op pipeline (``protocol.lean_ops``): the
+        #: allocation-free completion path where pooled sinks replace the
+        #: per-op response/info dicts and callback closures.  Requires the
+        #: fused path; checked when an operation is *issued* (so a mid-run
+        #: flip only affects subsequent operations) and falls back to the
+        #: classic dict pipeline whenever the fused gate fails.
+        self.lean_ops = True
         #: Bumped whenever :attr:`_routes` is invalidated; protocol-level
         #: fused-route caches revalidate against it instead of probing the
         #: route dict per send.
@@ -616,6 +631,80 @@ class Network:
         if self.topology._version != self._topo_version:
             self._sync_topology()
             route = self._route(route[0].name, route[1].name)
+        src_node, dst_node, stats, base, src_cell, dst_cell = route
+        if not src_node.alive:
+            self.messages_dropped += 1
+            return False
+        self.messages_sent += 1
+        if stats is None:
+            key = (src_node.name, dst_node.name)
+            stats = self._links.get(key)
+            if stats is None:
+                stats = self._links[key] = LinkStats()
+            route[2] = stats
+        stats.messages += 1
+        stats.bytes += size_bytes
+        src_cell[0] += size_bytes
+        if dst_cell is not None:
+            dst_cell[0] += size_bytes
+        if self._partitioned or self._partitioned_regions:
+            if self.is_partitioned(src_node.name, dst_node.name):
+                self.messages_dropped += 1
+                return False
+        if not dst_node.alive:
+            self.messages_dropped += 1
+            return False
+        jitter_fraction = self._jitter_fraction
+        if jitter_fraction > 0:
+            delay = base + jitter_fraction * self._rand() * base
+        else:
+            delay = base
+        if self._link_extra_ms:
+            delay += self.link_extra_ms(src_node.name, dst_node.name)
+        # Scheduler.schedule_call, inlined (delay is >= 0 by construction).
+        scheduler = self.scheduler
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        scheduler._live += 1
+        timestamp = scheduler.clock._now + delay
+        if timestamp < scheduler._horizon:
+            tick = int(timestamp * scheduler._wheel_inv)
+            if tick == scheduler._cursor:
+                heapq.heappush(
+                    scheduler._slots[tick & scheduler._wheel_mask],
+                    (timestamp, seq, fn, args, None, None))
+            else:
+                scheduler._slots[tick & scheduler._wheel_mask].append(
+                    (timestamp, seq, fn, args, None, None))
+                scheduler._wheel_count += 1
+        else:
+            heapq.heappush(scheduler._heap,
+                           (timestamp, seq, fn, args, None, None))
+        return True
+
+    def fused_send_to(self, src: Any, dst: str, size_bytes: int,
+                      fn: Any, args: tuple) -> bool:
+        """:meth:`fused_send` with the sender's route-cache probe fused in.
+
+        ``src`` is the sending *node* object, ``dst`` the destination name.
+        One call frame and one topology check replace the
+        ``Node._fused_route_to`` + :meth:`fused_send` pair; reply hops
+        (final/preliminary responses, write acks) are the hottest send
+        sites in a full fig06 run.  Accounting and scheduling are copied
+        verbatim from :meth:`fused_send` — keep the two in lockstep.
+        """
+        if self.topology._version != self._topo_version:
+            self._sync_topology()
+        epoch = self._route_epoch
+        if src._fused_epoch != epoch:
+            src._fused_routes.clear()
+            src._fused_epoch = epoch
+        route = src._fused_routes.get(dst)
+        if route is None:
+            route = self._routes.get((src.name, dst))
+            if route is None:
+                route = self._route(src.name, dst)
+            src._fused_routes[dst] = route
         src_node, dst_node, stats, base, src_cell, dst_cell = route
         if not src_node.alive:
             self.messages_dropped += 1

@@ -20,6 +20,8 @@ from repro.sim.scheduler import Scheduler
 class ProcessingQueue:
     """Single-server FIFO work queue with deterministic service times."""
 
+    __slots__ = ("_scheduler", "_busy_until", "jobs_processed", "busy_time")
+
     def __init__(self, scheduler: Scheduler) -> None:
         self._scheduler = scheduler
         self._busy_until = 0.0

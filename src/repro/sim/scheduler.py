@@ -115,6 +115,11 @@ class Event:
 class Scheduler:
     """Discrete-event scheduler with a simulated :class:`Clock`."""
 
+    __slots__ = ("clock", "_heap", "_seq", "_events_executed", "_cancelled",
+                 "_live", "_trace", "batch_dispatch", "_wheel_size",
+                 "_wheel_mask", "_wheel_width", "_wheel_inv", "_slots",
+                 "_wheel_count", "_cursor", "_wheel_enabled", "_horizon")
+
     def __init__(self, clock: Optional[Clock] = None,
                  wheel_slots: int = _WHEEL_SLOTS,
                  wheel_width_ms: float = _WHEEL_WIDTH_MS) -> None:
@@ -611,7 +616,6 @@ class Scheduler:
         limit = _INFINITY if until is None else until
         cap = _NO_CAP if max_events is None else max_events
         executed = 0
-        consumed = 0
         # Steady-state event execution allocates almost nothing that the
         # cyclic collector can reclaim (messages and per-op records are
         # pooled, everything else dies by refcount), so generational GC scans
@@ -650,11 +654,6 @@ class Scheduler:
                         return
                 while active:
                     entry = heappop(active)
-                    marker = entry[5]
-                    if marker is not None and marker is not _BATCH:
-                        if marker.cancelled:
-                            self._cancelled -= 1
-                            continue
                     timestamp = entry[0]
                     if timestamp > limit:
                         heapq.heappush(active, entry)
@@ -663,13 +662,15 @@ class Scheduler:
                     if executed >= cap:
                         heapq.heappush(active, entry)
                         return
-                    # Buckets activate in nondecreasing time order, so this
-                    # direct assignment cannot move the clock backwards
-                    # (Clock.advance_to enforces the same invariant with a
-                    # per-event method call).
-                    clock._now = timestamp
+                    # One marker test covers batch, cancelled, and handle
+                    # entries; the overwhelmingly common plain entry pays a
+                    # single branch.  A cancelled entry pushed back above
+                    # keeps its ``_cancelled`` count until it is finally
+                    # popped in bounds (or a purge removes it).
+                    marker = entry[5]
                     if marker is not None:
                         if marker is _BATCH:
+                            clock._now = timestamp
                             calls = entry[3]
                             count = len(calls)
                             if trace is not None:
@@ -677,15 +678,21 @@ class Scheduler:
                                 trace.extend((timestamp, first_seq + i)
                                              for i in range(count))
                             executed += count
-                            consumed += count
                             for fn, args in calls:
                                 fn(*args)
+                            continue
+                        if marker.cancelled:
+                            self._cancelled -= 1
                             continue
                         # Detach: a late cancel() on an already-fired event
                         # must not perturb the cancelled-entry bookkeeping.
                         marker._scheduler = None
+                    # Buckets activate in nondecreasing time order, so this
+                    # direct assignment cannot move the clock backwards
+                    # (Clock.advance_to enforces the same invariant with a
+                    # per-event method call).
+                    clock._now = timestamp
                     executed += 1
-                    consumed += 1
                     if trace is not None:
                         trace.append((timestamp, entry[1]))
                     kwargs = entry[4]
@@ -702,7 +709,7 @@ class Scheduler:
             if gc_was_enabled:
                 gc.enable()
             self._events_executed += executed
-            self._live -= consumed
+            self._live -= executed
 
     def _run_heap(self, until: Optional[float] = None,
                   max_events: Optional[int] = None) -> None:
@@ -714,7 +721,6 @@ class Scheduler:
         limit = _INFINITY if until is None else until
         cap = _NO_CAP if max_events is None else max_events
         executed = 0
-        consumed = 0
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -747,7 +753,6 @@ class Scheduler:
                             trace.extend((timestamp, first_seq + i)
                                          for i in range(count))
                         executed += count
-                        consumed += count
                         for fn, args in calls:
                             fn(*args)
                         continue
@@ -755,7 +760,6 @@ class Scheduler:
                     # not perturb the cancelled-entry bookkeeping.
                     marker._scheduler = None
                 executed += 1
-                consumed += 1
                 if trace is not None:
                     trace.append((timestamp, entry[1]))
                 kwargs = entry[4]
@@ -769,7 +773,7 @@ class Scheduler:
             if gc_was_enabled:
                 gc.enable()
             self._events_executed += executed
-            self._live -= consumed
+            self._live -= executed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain.  Guards against runaway simulations."""

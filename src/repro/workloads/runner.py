@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import inspect
 from collections import deque
-from functools import partial
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.metrics.queueing import AdmissionStats
@@ -51,19 +50,36 @@ class _ClientThread:
     so the in-flight operation's type and issue time live on the instance
     and the completion callback is the bound :meth:`_on_done`, instead of a
     fresh closure per operation.
+
+    The thread is also the *lean completion sink*: when the issue function
+    exposes a ``lean`` fast path (``protocol.lean_ops``), completions come
+    back through the positional ``deliver_*`` methods below — the thread
+    accounts the operation straight into the runner's recorders with the
+    exact arithmetic of :meth:`LoadEngine.record_completion` (closed loop:
+    arrival == issue, queue delay identically zero) and issues the next
+    operation, with no response/info dicts in between.
     """
 
-    __slots__ = ("runner", "thread_id", "generator", "_op_type", "_issued_at",
-                 "_done_cb")
+    __slots__ = ("runner", "thread_id", "generator", "_gen_buffered",
+                 "_op_type", "_issued_at", "_done_cb", "_lean_icg",
+                 "_had_prelim", "_prelim_value", "_prelim_latency")
 
     def __init__(self, runner: "ClosedLoopRunner", thread_id: int,
                  generator: OperationGenerator) -> None:
         self.runner = runner
         self.thread_id = thread_id
         self.generator = generator
+        #: Whether the generator exposes the chunked packed-op buffer the
+        #: lean issue loop decodes inline (duck-typed replay generators
+        #: don't; they always go through next_operation).
+        self._gen_buffered = getattr(generator, "_buf", None) is not None
         self._op_type = ""
         self._issued_at = 0.0
         self._done_cb = self._on_done  # bound once, reused every operation
+        self._lean_icg = False
+        self._had_prelim = False
+        self._prelim_value = None
+        self._prelim_latency = None
 
     def start(self) -> None:
         # Closed-loop threads live for the whole run: engage the generator's
@@ -78,17 +94,160 @@ class _ClientThread:
 
     def _issue_next(self) -> None:
         runner = self.runner
-        now = runner.scheduler.now()
+        now = runner.scheduler.clock._now
         if now >= runner.end_time:
             return
-        op_type, key, value = self.generator.next_operation()
+        lean = runner._lean_issue
+        gen = self.generator
+        if lean is not None and self._gen_buffered:
+            # OperationGenerator.next_operation, inlined for the buffered
+            # case: pop the packed op and decode it in place — no call
+            # frame, no result tuple.  Counters and value/key resolution
+            # follow the buffered branch of next_operation exactly; an
+            # empty buffer or uncached key list falls back to the method
+            # (which refills the buffer through the same streams).
+            buf = gen._buf
+            pos = gen._buf_pos
+            keys = gen._keys
+            if keys is not None and pos < len(buf):
+                packed = buf[pos]
+                gen._buf_pos = pos + 1
+                key = keys[packed >> 1]
+                if packed & 1:
+                    gen.updates_generated += 1
+                    op_type = "update"
+                    # Dataset.random_value, inlined for the buffered case.
+                    ds = gen.dataset
+                    vpos = ds._value_pos
+                    vbuf = ds._value_buf
+                    if vpos < len(vbuf):
+                        ds._value_pos = vpos + 1
+                        value = vbuf[vpos]
+                    else:
+                        value = ds._next_value_chunk()
+                else:
+                    gen.reads_generated += 1
+                    op_type = "read"
+                    value = None
+            else:
+                op_type, key, value = gen.next_operation()
+            self._op_type = op_type
+            self._issued_at = now
+            if lean(op_type, key, value, self):
+                return
+            runner.issue(op_type, key, value, self._done_cb)
+            return
+        op_type, key, value = gen.next_operation()
         self._op_type = op_type
         self._issued_at = now
+        if lean is not None and lean(op_type, key, value, self):
+            return
         runner.issue(op_type, key, value, self._done_cb)
 
     def _on_done(self, info: Dict[str, Any]) -> None:
         runner = self.runner
         runner.record_completion(self._op_type, self._issued_at, info)
+        think = runner.think_time_ms
+        if think > 0:
+            runner.scheduler.schedule(think, self._issue_next)
+        else:
+            self._issue_next()
+
+    # -- lean completion sink -------------------------------------------------
+    def deliver_read_preliminary(self, value: Any, timestamp: Any,
+                                 latency_ms: float) -> None:
+        self._had_prelim = True
+        self._prelim_value = value
+        self._prelim_latency = latency_ms
+
+    def deliver_read_final(self, value: Any, timestamp: Any,
+                           latency_ms: float, is_confirmation: bool) -> None:
+        runner = self.runner
+        result = runner.result
+        result.total_ops += 1
+        completed_at = runner.scheduler.clock._now
+        if self._lean_icg:
+            had = self._had_prelim
+            diverged = (had and self._prelim_value != value
+                        and not is_confirmation)
+            prelim_latency = self._prelim_latency
+            self._had_prelim = False
+            self._prelim_value = None
+            self._prelim_latency = None
+            if runner._measure_start <= self._issued_at \
+                    and completed_at <= runner._measure_end:
+                result.measured_ops += 1
+                result.final_latency.record(latency_ms)
+                result.read_latency.record(latency_ms)
+                if prelim_latency is not None:
+                    result.preliminary_latency.record(prelim_latency)
+                result.divergence.record_outcome(diverged,
+                                                 had_preliminary=had)
+        elif runner._measure_start <= self._issued_at \
+                and completed_at <= runner._measure_end:
+            result.measured_ops += 1
+            result.final_latency.record(latency_ms)
+            result.read_latency.record(latency_ms)
+        think = runner.think_time_ms
+        if think > 0:
+            runner.scheduler.schedule(think, self._issue_next)
+        else:
+            self._issue_next()
+
+    def deliver_read_error(self, error: str, latency_ms: float) -> None:
+        runner = self.runner
+        result = runner.result
+        result.total_ops += 1
+        result.failed_ops += 1
+        completed_at = runner.scheduler.clock._now
+        icg = self._lean_icg
+        had = self._had_prelim
+        prelim_latency = self._prelim_latency
+        self._had_prelim = False
+        self._prelim_value = None
+        self._prelim_latency = None
+        if runner._measure_start <= self._issued_at \
+                and completed_at <= runner._measure_end:
+            result.measured_ops += 1
+            result.final_latency.record(latency_ms)
+            result.read_latency.record(latency_ms)
+            if icg:
+                if prelim_latency is not None:
+                    result.preliminary_latency.record(prelim_latency)
+                result.divergence.record_outcome(False, had_preliminary=had)
+        think = runner.think_time_ms
+        if think > 0:
+            runner.scheduler.schedule(think, self._issue_next)
+        else:
+            self._issue_next()
+
+    def deliver_write_ack(self, timestamp: Any, latency_ms: float) -> None:
+        runner = self.runner
+        result = runner.result
+        result.total_ops += 1
+        completed_at = runner.scheduler.clock._now
+        if runner._measure_start <= self._issued_at \
+                and completed_at <= runner._measure_end:
+            result.measured_ops += 1
+            result.final_latency.record(latency_ms)
+            result.update_latency.record(latency_ms)
+        think = runner.think_time_ms
+        if think > 0:
+            runner.scheduler.schedule(think, self._issue_next)
+        else:
+            self._issue_next()
+
+    def deliver_write_error(self, error: str, latency_ms: float) -> None:
+        runner = self.runner
+        result = runner.result
+        result.total_ops += 1
+        result.failed_ops += 1
+        completed_at = runner.scheduler.clock._now
+        if runner._measure_start <= self._issued_at \
+                and completed_at <= runner._measure_end:
+            result.measured_ops += 1
+            result.final_latency.record(latency_ms)
+            result.update_latency.record(latency_ms)
         think = runner.think_time_ms
         if think > 0:
             runner.scheduler.schedule(think, self._issue_next)
@@ -114,6 +273,11 @@ class ClosedLoopRunner(LoadEngine):
                          use_histograms=use_histograms)
         self.threads = threads
         self.think_time_ms = think_time_ms
+        #: ``issue.lean(op_type, key, value, sink) -> bool`` when the issue
+        #: function supports the lean op pipeline; it re-checks the
+        #: ``protocol.lean_ops`` switch per call and returns False to route
+        #: the operation through the classic dict pipeline instead.
+        self._lean_issue = getattr(issue, "lean", None)
         self._threads = [
             _ClientThread(self, i, make_generator(i)) for i in range(threads)
         ]
@@ -138,6 +302,173 @@ class _Session:
     def __init__(self, session_id: int, generator: OperationGenerator) -> None:
         self.session_id = session_id
         self.generator = generator
+
+
+class _OpenOp:
+    """One in-flight open-loop operation: pooled completion state.
+
+    Replaces the per-operation ``partial`` closure the open loop used to
+    allocate as its ``done`` callback, and doubles as the *lean completion
+    sink* (``protocol.lean_ops``): completions delivered through the
+    positional ``deliver_*`` methods account straight into the runner's
+    recorders with the exact arithmetic of
+    :meth:`LoadEngine.record_completion` for open loops — queue delay
+    (issue minus arrival) added to every recorded latency, the measurement
+    window judged on the true arrival instant, one queue-delay sample per
+    measured completion — then refill the next waiting arrival, with no
+    response/info dicts in between.
+    """
+
+    __slots__ = ("runner", "op_type", "issued_at", "arrived_at", "done",
+                 "_lean_icg", "_had_prelim", "_prelim_value",
+                 "_prelim_latency")
+
+    _pool: list = []
+    _created = 0
+    _recycled = 0
+
+    def __init__(self) -> None:
+        self.done = self._on_done  # bound once, reused every operation
+
+    @classmethod
+    def acquire(cls, runner: "OpenLoopRunner", op_type: str,
+                issued_at: float, arrived_at: float) -> "_OpenOp":
+        pool = cls._pool
+        if pool:
+            op = pool.pop()
+        else:
+            cls._created += 1
+            op = cls()
+        op.runner = runner
+        op.op_type = op_type
+        op.issued_at = issued_at
+        op.arrived_at = arrived_at
+        op._lean_icg = False
+        op._had_prelim = False
+        op._prelim_value = None
+        op._prelim_latency = None
+        return op
+
+    def _recycle(self) -> None:
+        # Called before completion handling: refilling from the wait queue
+        # issues the next operation, which may legitimately reuse this
+        # very record.
+        self.runner = None
+        self._prelim_value = None
+        cls = _OpenOp
+        cls._recycled += 1
+        cls._pool.append(self)
+
+    @classmethod
+    def pool_stats(cls) -> Dict[str, int]:
+        """Counters for the pool-leak tests."""
+        return {"created": cls._created, "recycled": cls._recycled,
+                "free": len(cls._pool)}
+
+    # -- classic completion (dict pipeline) -----------------------------------
+    def _on_done(self, info: Dict[str, Any]) -> None:
+        runner = self.runner
+        op_type = self.op_type
+        issued_at = self.issued_at
+        arrived_at = self.arrived_at
+        self._recycle()
+        runner._in_flight -= 1
+        runner.record_completion(op_type, issued_at, info,
+                                 arrived_at=arrived_at)
+        runner._refill()
+
+    # -- lean completion sink -------------------------------------------------
+    def deliver_read_preliminary(self, value: Any, timestamp: Any,
+                                 latency_ms: float) -> None:
+        self._had_prelim = True
+        self._prelim_value = value
+        self._prelim_latency = latency_ms
+
+    def deliver_read_final(self, value: Any, timestamp: Any,
+                           latency_ms: float, is_confirmation: bool) -> None:
+        runner = self.runner
+        issued_at = self.issued_at
+        arrived_at = self.arrived_at
+        icg = self._lean_icg
+        had = self._had_prelim
+        prelim_value = self._prelim_value
+        prelim_latency = self._prelim_latency
+        self._recycle()
+        runner._in_flight -= 1
+        result = runner.result
+        result.total_ops += 1
+        completed_at = runner.scheduler.clock._now
+        if runner._measure_start <= arrived_at \
+                and completed_at <= runner._measure_end:
+            queue_delay = issued_at - arrived_at
+            result.measured_ops += 1
+            result.admission.record_queue_delay(queue_delay)
+            if queue_delay:
+                latency_ms += queue_delay
+            result.final_latency.record(latency_ms)
+            result.read_latency.record(latency_ms)
+            if icg:
+                if prelim_latency is not None:
+                    if queue_delay:
+                        prelim_latency += queue_delay
+                    result.preliminary_latency.record(prelim_latency)
+                result.divergence.record_outcome(
+                    had and prelim_value != value and not is_confirmation,
+                    had_preliminary=had)
+        runner._refill()
+
+    def deliver_write_ack(self, timestamp: Any, latency_ms: float) -> None:
+        runner = self.runner
+        issued_at = self.issued_at
+        arrived_at = self.arrived_at
+        self._recycle()
+        runner._in_flight -= 1
+        result = runner.result
+        result.total_ops += 1
+        completed_at = runner.scheduler.clock._now
+        if runner._measure_start <= arrived_at \
+                and completed_at <= runner._measure_end:
+            queue_delay = issued_at - arrived_at
+            result.measured_ops += 1
+            result.admission.record_queue_delay(queue_delay)
+            if queue_delay:
+                latency_ms += queue_delay
+            result.final_latency.record(latency_ms)
+            result.update_latency.record(latency_ms)
+        runner._refill()
+
+    def deliver_read_error(self, error: str, latency_ms: float) -> None:
+        self._deliver_error(latency_ms, is_read=True)
+
+    def deliver_write_error(self, error: str, latency_ms: float) -> None:
+        self._deliver_error(latency_ms, is_read=False)
+
+    def _deliver_error(self, latency_ms: float, is_read: bool) -> None:
+        # Mirrors the classic session issue path on errors: a bare
+        # ``{"failed": True}`` — response-time accounting only, no
+        # preliminary/divergence samples.
+        runner = self.runner
+        issued_at = self.issued_at
+        arrived_at = self.arrived_at
+        self._recycle()
+        runner._in_flight -= 1
+        result = runner.result
+        result.total_ops += 1
+        result.failed_ops += 1
+        completed_at = runner.scheduler.clock._now
+        if runner._measure_start <= arrived_at \
+                and completed_at <= runner._measure_end:
+            queue_delay = issued_at - arrived_at
+            result.measured_ops += 1
+            result.admission.record_queue_delay(queue_delay)
+            if queue_delay:
+                latency_ms += queue_delay
+            result.final_latency.record(latency_ms)
+            if is_read:
+                result.read_latency.record(latency_ms)
+            else:
+                result.update_latency.record(latency_ms)
+        runner._refill()
 
 
 class OpenLoopRunner(LoadEngine):
@@ -208,6 +539,19 @@ class OpenLoopRunner(LoadEngine):
                                          or "session_id" in parameters)
         except (TypeError, ValueError):
             self._issue_takes_session = False
+        #: ``issue.lean(op_type, key, value, sink[, session_id]) -> bool``
+        #: when the issue function supports the lean op pipeline; it
+        #: re-checks the ``protocol.lean_ops`` switch per call and returns
+        #: False to route the operation through the classic dict pipeline.
+        self._lean_issue = getattr(issue, "lean", None)
+        self._lean_takes_session = False
+        if self._lean_issue is not None:
+            try:
+                parameters = inspect.signature(self._lean_issue).parameters
+                self._lean_takes_session = (len(parameters) >= 5
+                                            or "session_id" in parameters)
+            except (TypeError, ValueError):
+                self._lean_takes_session = False
 
     @property
     def admission(self) -> AdmissionStats:
@@ -267,17 +611,21 @@ class OpenLoopRunner(LoadEngine):
         now = self.scheduler.now()
         self._in_flight += 1
         self.admission.record_issue(self._in_flight)
-        done = partial(self._on_done, op_type, now, arrived_at)
+        op = _OpenOp.acquire(self, op_type, now, arrived_at)
+        lean = self._lean_issue
+        if lean is not None:
+            if self._lean_takes_session:
+                if lean(op_type, key, value, op, session_id):
+                    return
+            elif lean(op_type, key, value, op):
+                return
         if self._issue_takes_session:
-            self.issue(op_type, key, value, done, session_id)
+            self.issue(op_type, key, value, op.done, session_id)
         else:
-            self.issue(op_type, key, value, done)
+            self.issue(op_type, key, value, op.done)
 
-    def _on_done(self, op_type: str, issued_at: float, arrived_at: float,
-                 info: Dict[str, Any]) -> None:
-        self._in_flight -= 1
-        self.record_completion(op_type, issued_at, info,
-                               arrived_at=arrived_at)
+    def _refill(self) -> None:
+        """Issue the next waiting arrival once an in-flight slot freed up."""
         if self._waiting and (self.max_in_flight is None
                               or self._in_flight < self.max_in_flight):
             session_id, queued_op, key, value, arrived_at = \

@@ -164,11 +164,22 @@ class OperationGenerator:
         if streams is None and self._plain_draws >= _AUTO_CHUNK_AFTER:
             streams = self._setup_streams()
         if streams:
-            self._buf = self._generate(self._chunk)
-            self._buf_pos = 0
+            self._buf = buf = self._generate(self._chunk)
             if self._chunk < _CHUNK_MAX:
                 self._chunk *= 2
-            return self.next_operation()
+            # Pop the first op of the fresh chunk in place rather than
+            # recursing: the refill happens once per chunk, but the frame
+            # would sit on the hot path's deepest stack.
+            packed = buf[0]
+            self._buf_pos = 1
+            index = packed >> 1
+            keys = self._keys
+            key = keys[index] if keys is not None else self.dataset.key(index)
+            if packed & 1:
+                self.updates_generated += 1
+                return "update", key, self.dataset.random_value()
+            self.reads_generated += 1
+            return "read", key, None
         self._plain_draws += 1
         index = self._chooser.next_index()
         key = self.dataset.key(index)
@@ -235,6 +246,11 @@ class OperationGenerator:
             else:
                 indexes = chooser.indices_from_stream(key_stream, n)
             mix = mix_stream.doubles(n)
+        if read_proportion >= 1.0:
+            # Read-only mix (workload C): every double is < 1.0, so the
+            # update bit is always clear — the mix draws above are still
+            # consumed, keeping the streams bit-identical to the mixed path.
+            return [index << 1 for index in indexes]
         return [(index << 1) | (u >= read_proportion)
                 for index, u in zip(indexes, mix)]
 

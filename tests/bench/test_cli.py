@@ -37,6 +37,11 @@ class TestParser:
         assert args.perf_scenarios == ["fig09-zk-queue"]
         assert args.no_save and args.check_regression
 
+    def test_show_budget_parsed(self):
+        args = build_parser().parse_args(["perf", "--show-budget"])
+        assert args.show_budget
+        assert not build_parser().parse_args(["perf"]).show_budget
+
     def test_jobs_and_histograms_parsed(self):
         args = build_parser().parse_args(
             ["fig06", "--quick", "--jobs", "4", "--histograms"])
@@ -94,3 +99,46 @@ class TestRunFigure:
         assert not figure_supports_histograms("fig09")
         with pytest.raises(KeyError):
             figure_supports_histograms("fig99")
+
+
+class TestShowBudget:
+    def test_comparison_table_with_committed_reference(self):
+        from repro.bench.perf import format_budget_comparison
+
+        fresh = {"profiled_s": 2.0,
+                 "shares": {"scheduler": 0.30, "network": 0.20,
+                            "workload": 0.10, "metrics": 0.05,
+                            "protocol": 0.25, "other": 0.10}}
+        committed = {"profiled_s": 2.1,
+                     "shares": {"scheduler": 0.25, "network": 0.20,
+                                "workload": 0.10, "metrics": 0.05,
+                                "protocol": 0.33, "other": 0.07}}
+        table = format_budget_comparison("fig09-zk-queue", fresh, committed)
+        assert "Budget vs committed: fig09-zk-queue" in table
+        assert "committed" in table and "fresh" in table
+        # scheduler grew 5 points, protocol shrank 8 points.
+        assert "+5.0" in table and "-8.0" in table
+
+    def test_comparison_table_without_reference(self):
+        from repro.bench.perf import format_budget_comparison
+
+        fresh = {"profiled_s": 1.0,
+                 "shares": {"scheduler": 0.5, "network": 0.1, "workload": 0.1,
+                            "metrics": 0.1, "protocol": 0.1, "other": 0.1}}
+        table = format_budget_comparison("fig09-zk-queue", fresh, None)
+        assert "no committed budget" in table
+        assert "50.0%" in table
+
+    def test_main_perf_show_budget_prints_comparison(self, tmp_path, capsys):
+        from repro.bench.perf import main_perf
+
+        output = tmp_path / "perf.json"
+        assert main_perf(quick=True, repeats=1, show_budget=True,
+                         scenarios=["fig09-zk-queue"], save=False,
+                         output=str(output)) == 0
+        out = capsys.readouterr().out
+        assert "Budget vs committed: fig09-zk-queue" in out
+        # A fresh trajectory has no committed budget to compare against.
+        assert "no committed budget" in out
+        # --show-budget alone prints no cProfile top-N listing.
+        assert "cProfile top" not in out

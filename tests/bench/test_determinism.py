@@ -32,14 +32,23 @@ def _sha(parts: Iterable) -> str:
 
 
 def trace_fingerprint(batch_dispatch: bool = True, wheel: bool = True,
-                      fast_path: bool = True) -> Dict[str, object]:
+                      fast_path: bool = True, lean_ops: bool = True,
+                      lean_toggles: Iterable[float] = (),
+                      lean_toggle_noop: bool = False) -> Dict[str, object]:
     """Event-trace + metrics fingerprint of a small closed-loop CC2 run.
 
     ``batch_dispatch=False`` forces every delivery onto an individual heap
     entry; ``wheel=False`` routes all scheduling through the classic binary
     heap; ``fast_path=False`` disables the fused protocol path so every hop
-    is a real :class:`Message`.  The fingerprint must be identical in every
-    combination — all three are amortizations, never reorderings.
+    is a real :class:`Message`; ``lean_ops=False`` disables the lean op
+    pipeline so every completion rides the response-dict pipeline.  The
+    fingerprint must be identical in every combination — all four are
+    amortizations, never reorderings.  ``lean_toggles`` schedules mid-run
+    flips of the ``protocol.lean_ops`` switch at the given sim times, so
+    operations in flight across a flip complete on the pipeline they were
+    issued on while later ones take the other; ``lean_toggle_noop=True``
+    schedules no-op events at the same instants instead (same event
+    count/order), giving the toggle run an exactly comparable twin.
     """
     from repro.bench.common import (
         build_cassandra_scenario, cassandra_config_for, run_multi_region_load)
@@ -53,6 +62,17 @@ def trace_fingerprint(batch_dispatch: bool = True, wheel: bool = True,
     scenario.env.scheduler.batch_dispatch = batch_dispatch
     scenario.env.scheduler.wheel = wheel
     scenario.env.network.fast_path = fast_path
+    scenario.env.network.lean_ops = lean_ops
+
+    def _flip() -> None:
+        scenario.env.network.lean_ops = not scenario.env.network.lean_ops
+
+    def _noop() -> None:
+        pass
+
+    for at_ms in lean_toggles:
+        scenario.env.scheduler.schedule_call_at(
+            at_ms, _noop if lean_toggle_noop else _flip)
     trace = scenario.env.scheduler.start_trace()
     results = run_multi_region_load(
         scenario, "CC2", workload_by_name("A"), threads_per_client=2,
@@ -106,6 +126,22 @@ class TestDeterminism:
     def test_event_trace_matches_golden_all_switches_off(self):
         assert trace_fingerprint(batch_dispatch=False, wheel=False,
                                  fast_path=False) == _golden()["trace"]
+
+    def test_event_trace_matches_golden_with_lean_ops_off(self):
+        """The response-dict pipeline reproduces the lean-op trace."""
+        assert trace_fingerprint(lean_ops=False) == _golden()["trace"]
+
+    def test_event_trace_identical_with_lean_ops_toggled_mid_run(self):
+        """Mid-run ``protocol.lean_ops`` flips change nothing observable.
+
+        The switch flips twice inside the measurement window (lean → dict
+        → lean), so operations in flight at each flip complete on the
+        pipeline they were issued on; the twin run schedules no-op events
+        at the same instants, making the fingerprints exactly comparable.
+        """
+        toggles = (900.0, 1_700.0)
+        assert trace_fingerprint(lean_toggles=toggles) == \
+            trace_fingerprint(lean_toggles=toggles, lean_toggle_noop=True)
 
     def test_event_trace_is_repeatable(self):
         assert trace_fingerprint() == trace_fingerprint()
@@ -223,7 +259,8 @@ class TestDeterminism:
         assert scheduler._scan_live() == 0
 
     @staticmethod
-    def _forced_switches(wheel: bool, fast_path: bool):
+    def _forced_switches(wheel: bool = True, fast_path: bool = True,
+                         lean_ops: bool = True):
         """Context: every Scheduler/Network built inside starts with the
         given kill-switch settings.  The figure harnesses build their
         environments internally, so the switches are applied at
@@ -245,6 +282,7 @@ class TestDeterminism:
             def patched_network(self, *args, **kwargs):
                 network_init(self, *args, **kwargs)
                 self.fast_path = fast_path
+                self.lean_ops = lean_ops
 
             Scheduler.__init__ = patched_scheduler
             Network.__init__ = patched_network
@@ -274,6 +312,88 @@ class TestDeterminism:
             assert run_fig13_scenario("replica-crash", **kwargs) == reference
         with self._forced_switches(wheel=True, fast_path=False):
             assert run_fig13_scenario("replica-crash", **kwargs) == reference
+
+    def test_fig13_fault_slice_identical_with_lean_ops_forced(self):
+        """The fault family is invariant to the ``protocol.lean_ops`` switch.
+
+        Fault configurations arm timeouts and fallback contacts, which the
+        lean gate rejects per operation — so even with the switch forced on
+        every operation falls back to the classic pipeline mid-flight, and
+        the record matches the switch-off run bit for bit.
+        """
+        from repro.bench.fig13_faults import run_fig13_scenario
+
+        kwargs = dict(workload="B", threads_per_client=2,
+                      duration_ms=6_000.0, warmup_ms=1_500.0,
+                      cooldown_ms=500.0, record_count=150)
+        with self._forced_switches(lean_ops=True):
+            reference = run_fig13_scenario("replica-crash", **kwargs)
+        with self._forced_switches(lean_ops=False):
+            assert run_fig13_scenario("replica-crash", **kwargs) == reference
+
+    def test_fig14_open_loop_slice_identical_with_lean_ops_off(self):
+        """An open-loop fig14 cell is bit-identical without lean ops.
+
+        This covers the lean *open-loop* pipeline end to end — pooled
+        runner op records as completion sinks, the session-rotation lean
+        issue path, and the fused storage protocol underneath — against the
+        classic Correctable/dict pipeline.
+        """
+        from repro.bench.fig14_open_loop import run_fig14_point
+        from repro.bench.sweep import SweepPoint
+
+        kwargs = dict(binding="cassandra", mode="open", policy="queue",
+                      rate_ops_s=400.0, arrivals="poisson", sessions=60,
+                      max_in_flight=16, queue_limit=64,
+                      duration_ms=6_000.0, warmup_ms=1_000.0,
+                      cooldown_ms=500.0, record_count=120, workload="A",
+                      distribution="latest", seed=42)
+        point = SweepPoint(index=0, family="fig14", kwargs=kwargs)
+        reference = run_fig14_point(point)
+        with self._forced_switches(lean_ops=False):
+            assert run_fig14_point(point) == reference
+
+    def test_open_loop_lean_pools_recycle_without_leaking(self):
+        """Lean open-loop load leaks neither runner op records nor fused
+        protocol records: everything acquired during the run is back on its
+        free list once the run drains."""
+        from repro.bench.fig14_open_loop import run_fig14_point
+        from repro.bench.sweep import SweepPoint
+        from repro.cassandra_sim.coordinator import FusedRead, FusedWrite
+        from repro.workloads.runner import _OpenOp
+
+        def outstanding(stats):
+            # FusedRead/FusedWrite count pool pops in ``reused``; the
+            # unbounded _OpenOp pool counts only fresh constructions, so
+            # its outstanding records are created - free.
+            if "reused" in stats:
+                return stats["created"] + stats["reused"] - stats["recycled"]
+            return stats["created"] - stats["free"]
+
+        ops_before = outstanding(_OpenOp.pool_stats())
+        reads_before = outstanding(FusedRead.pool_stats())
+        writes_before = outstanding(FusedWrite.pool_stats())
+        created_before = _OpenOp.pool_stats()["created"]
+        recycled_before = _OpenOp.pool_stats()["recycled"]
+        run_fig14_point(SweepPoint(
+            index=0, family="fig14",
+            kwargs=dict(binding="cassandra", mode="open", policy="queue",
+                        rate_ops_s=300.0, arrivals="poisson", sessions=40,
+                        max_in_flight=16, queue_limit=64,
+                        duration_ms=4_000.0, warmup_ms=500.0,
+                        cooldown_ms=500.0, record_count=120, workload="A",
+                        distribution="latest", seed=42)))
+        stats = _OpenOp.pool_stats()
+        assert stats["recycled"] > recycled_before, \
+            "the pooled open-loop op records never cycled"
+        assert stats["recycled"] - recycled_before > \
+            stats["created"] - created_before, "op records were never reused"
+        assert outstanding(stats) == ops_before, \
+            "an open-loop op record leaked"
+        assert outstanding(FusedRead.pool_stats()) == reads_before, \
+            "a FusedRead record leaked"
+        assert outstanding(FusedWrite.pool_stats()) == writes_before, \
+            "a FusedWrite record leaked"
 
     def test_fig16_cell_identical_with_switches_off(self):
         """A 2PC coordinator-failover cell is invariant to the fast paths.

@@ -1,0 +1,123 @@
+"""End-to-end tests for the lean op pipeline at the client API layer.
+
+``CorrectableClient.invoke_lean`` completes operations through a pooled
+:class:`LeanCorrectable` over the fused storage protocol; these tests drive
+it against a real (simulated) CC2 cluster and pin the fallback semantics:
+``None`` whenever the binding cannot take the lean path, classic ``invoke``
+untouched either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.common import cassandra_config_for
+from repro.bindings.cassandra import CassandraBinding
+from repro.core.client import CorrectableClient
+from repro.core.cluster_spec import ClusterSpec
+from repro.core.consistency import STRONG, WEAK
+from repro.core.correctable import LeanCorrectable
+from repro.core.operations import read, write
+from repro.sim.topology import Region
+
+
+def _stack(lean_ops: bool = True):
+    scenario = ClusterSpec(seed=3, record_count=20,
+                           client_regions=(Region.IRL,),
+                           config=cassandra_config_for("CC2")).build()
+    scenario.env.network.lean_ops = lean_ops
+    binding = CassandraBinding(scenario.client_in(Region.IRL))
+    return scenario, CorrectableClient(binding)
+
+
+def _some_key(scenario) -> str:
+    return next(iter(scenario.dataset.initial_items()))
+
+
+class TestInvokeLean:
+    def test_icg_read_delivers_preliminary_and_final(self):
+        scenario, client = _stack()
+        key = _some_key(scenario)
+        expected = scenario.dataset.initial_items()[key]
+        lean = client.invoke_lean(read(key))
+        assert isinstance(lean, LeanCorrectable)
+        assert lean.is_updating()
+        scenario.env.run_until_idle()
+        assert lean.is_final()
+        assert lean.value() == expected
+        assert lean.had_preliminary, "ICG read must surface its preliminary"
+        assert lean.preliminary_value == expected
+        assert lean.final_view().consistency is STRONG
+        assert client.invocations == 1 and client.icg_invocations == 1
+        LeanCorrectable.release(lean)
+
+    def test_write_then_read_roundtrip(self):
+        scenario, client = _stack()
+        key = _some_key(scenario)
+        lean_write = client.invoke_lean(write(key, "fresh"), levels=[STRONG])
+        assert isinstance(lean_write, LeanCorrectable)
+        scenario.env.run_until_idle()
+        assert lean_write.value() == "fresh"
+        LeanCorrectable.release(lean_write)
+        lean_read = client.invoke_lean(read(key), levels=[STRONG])
+        scenario.env.run_until_idle()
+        assert lean_read.value() == "fresh"
+        assert not lean_read.had_preliminary, "single-level read is not ICG"
+        LeanCorrectable.release(lean_read)
+
+    def test_kill_switch_off_returns_none(self):
+        scenario, client = _stack(lean_ops=False)
+        assert client.invoke_lean(read(_some_key(scenario))) is None
+        # The classic pipeline still works and counters only count real ops.
+        correctable = client.invoke(read(_some_key(scenario)))
+        scenario.env.run_until_idle()
+        assert correctable.is_final()
+        assert client.invocations == 1
+
+    def test_mid_run_kill_switch_flip_falls_back(self):
+        scenario, client = _stack()
+        key = _some_key(scenario)
+        assert client.invoke_lean(read(key)) is not None
+        scenario.env.network.lean_ops = False
+        assert client.invoke_lean(read(key)) is None
+        scenario.env.network.lean_ops = True
+        assert client.invoke_lean(read(key)) is not None
+        scenario.env.run_until_idle()
+
+    def test_unmappable_operation_returns_none_without_side_effects(self):
+        scenario, client = _stack()
+        key = _some_key(scenario)
+        storage = client.binding.client
+        writes_before = storage.writes_sent
+        # A weak+strong write needs the optimistic local echo the sink
+        # protocol does not model: no lean mapping, nothing issued.
+        assert client.invoke_lean(write(key, "x"),
+                                  levels=[WEAK, STRONG]) is None
+        assert storage.writes_sent == writes_before
+        assert client.invocations == 0
+
+    def test_session_invoke_lean_counts_only_issued_ops(self):
+        scenario, client = _stack()
+        key = _some_key(scenario)
+        pool = client.sessions(2)
+        session = pool.session(0)
+        lean = session.invoke_lean(read(key))
+        assert lean is not None
+        scenario.env.network.lean_ops = False
+        assert session.invoke_lean(read(key)) is None
+        assert session.invocations == 1
+        scenario.env.run_until_idle()
+
+    def test_matches_classic_pipeline_result(self):
+        scenario_a, client_a = _stack(lean_ops=True)
+        scenario_b, client_b = _stack(lean_ops=False)
+        key = _some_key(scenario_a)
+        lean = client_a.invoke_lean(read(key))
+        classic = client_b.invoke(read(key))
+        scenario_a.env.run_until_idle()
+        scenario_b.env.run_until_idle()
+        lean_final = lean.final_view()
+        classic_final = classic.final_view()
+        assert lean_final.value == classic_final.value
+        assert lean_final.consistency is classic_final.consistency
+        assert lean.preliminary_value == classic.views()[0].value
